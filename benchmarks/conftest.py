@@ -1,0 +1,95 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks are experiments: each regenerates one table/figure of the paper
+(see DESIGN.md §3) and prints the rows the paper reports. pytest-benchmark
+times the interesting hot path; correctness assertions pin the *shape* of
+each result (who wins, roughly by how much), not exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    build_full_suite,
+    generate_earnings_corpus,
+    generate_layout_benchmark,
+    generate_ntsb_corpus,
+)
+from repro.partitioner import ArynPartitioner
+from repro.sycamore import SycamoreContext
+
+#: Seeds are fixed so benchmark output is reproducible run to run.
+NTSB_SEED = 21
+EARNINGS_SEED = 22
+
+NTSB_SCHEMA = {
+    "state": "string",
+    "incident_year": "int",
+    "weather_related": "bool",
+    "injuries_fatal": "int",
+    "aircraft": "string",
+}
+EARNINGS_SCHEMA = {
+    "company": "string",
+    "sector": "string",
+    "fiscal_year": "int",
+    "revenue_musd": "float",
+    "revenue_growth_pct": "float",
+    "ceo_changed": "bool",
+}
+
+
+@pytest.fixture(scope="session")
+def ntsb_bench_corpus():
+    return generate_ntsb_corpus(80, seed=NTSB_SEED)
+
+
+@pytest.fixture(scope="session")
+def earnings_bench_corpus():
+    return generate_earnings_corpus(60, seed=EARNINGS_SEED)
+
+
+@pytest.fixture(scope="session")
+def layout_bench_docs():
+    return generate_layout_benchmark(40, seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_context(ntsb_bench_corpus, earnings_bench_corpus):
+    """Both corpora partitioned, extracted (sim-large) and indexed."""
+    _, n_raws = ntsb_bench_corpus
+    _, e_raws = earnings_bench_corpus
+    ctx = SycamoreContext(parallelism=8, seed=9)
+    (
+        ctx.read.raw(n_raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(NTSB_SCHEMA, model="sim-large")
+        .write.index("ntsb")
+    )
+    (
+        ctx.read.raw(e_raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(EARNINGS_SCHEMA, model="sim-large")
+        .write.index("earnings")
+    )
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def question_suite(ntsb_bench_corpus, earnings_bench_corpus):
+    return build_full_suite(ntsb_bench_corpus[0], earnings_bench_corpus[0])
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render a paper-style results table to stdout."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

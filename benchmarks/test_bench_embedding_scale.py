@@ -1,0 +1,78 @@
+"""C3 — §2 claim: "As more data is added, accuracy deteriorates, as it
+becomes harder for embedding vectors to discriminate between chunks."
+
+Measures retrieval quality (recall@k of the unique relevant document for
+a set of targeted queries) as near-duplicate documents crowd the vector
+space. Shape: recall@k decreases monotonically-ish with corpus size.
+Also compares retrieval modes (vector / keyword / hybrid) as a design
+ablation.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.datagen import generate_ntsb_corpus
+from repro.embedding import HashingEmbedder
+from repro.indexes import IndexCatalog
+from repro.docmodel import Document
+
+CORPUS_SIZES = (50, 150, 400, 800)
+K = 5
+N_QUERIES = 25
+
+
+def _build_index(n_docs, embedder):
+    records, raws = generate_ntsb_corpus(n_docs, seed=61)
+    catalog = IndexCatalog(embedder=embedder)
+    index = catalog.create("docs")
+    for record, raw in zip(records, raws):
+        index.add_document(Document(doc_id=record.report_id, text=raw.all_text()))
+    return records, index
+
+
+def _recall_at_k(records, index, mode):
+    hits = 0
+    for record in records[:N_QUERIES]:
+        # A targeted query that uniquely identifies one document.
+        query = (
+            f"accident near {record.city} {record.state} on {record.date} "
+            f"involving a {record.aircraft}"
+        )
+        results = getattr(index, f"search_{mode}")(query, k=K)
+        if any(d.doc_id == record.report_id for d in results):
+            hits += 1
+    return hits / N_QUERIES
+
+
+def test_bench_embedding_scale(benchmark):
+    embedder = HashingEmbedder(dimensions=256)
+
+    def sweep():
+        table = {}
+        for size in CORPUS_SIZES:
+            records, index = _build_index(size, embedder)
+            table[size] = {
+                mode: _recall_at_k(records, index, mode)
+                for mode in ("vector", "keyword", "hybrid")
+            }
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [size, f"{r['vector']:.0%}", f"{r['keyword']:.0%}", f"{r['hybrid']:.0%}"]
+        for size, r in table.items()
+    ]
+    print_table(
+        f"C3: recall@{K} of the target document vs corpus size",
+        ["corpus size", "vector", "keyword", "hybrid"],
+        rows,
+    )
+
+    smallest = table[CORPUS_SIZES[0]]["vector"]
+    largest = table[CORPUS_SIZES[-1]]["vector"]
+    # Shape: embedding discriminability degrades as the corpus grows.
+    assert largest < smallest
+    assert smallest >= 0.6
+    # Hybrid should never be dramatically worse than pure vector at scale.
+    assert table[CORPUS_SIZES[-1]]["hybrid"] >= largest - 0.2

@@ -1,0 +1,61 @@
+"""E2 — §6 Luna micro-benchmark.
+
+Paper: "we created a micro-benchmark using questions from financial
+customers on an earnings report dataset, and building our own questions
+for the NTSB reports... Luna achieved a 72% accuracy. Out of 18
+questions, Luna answered 13 correctly, 3 plausibly, and 2 incorrectly.
+The intention of certain ambiguous questions was misinterpreted by the
+query planner."
+
+This bench runs the full 18-question suite end-to-end (plan -> optimize ->
+execute -> grade). Shape requirements: accuracy in the paper's band
+(~60-90%), only a small incorrect tail, and the incorrect answers should
+include the deliberately-ambiguous questions — the paper's own failure
+mode.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.evaluation import Grade, run_luna_suite
+from repro.luna import Luna
+
+
+def test_bench_luna_accuracy(benchmark, bench_context, question_suite):
+    luna = Luna(bench_context, planner_model="sim-large", policy="quality")
+
+    report = benchmark.pedantic(
+        run_luna_suite, args=(luna, question_suite), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            o.qid,
+            o.grade.value,
+            str(o.answer)[:36],
+            str(o.expected)[:36],
+            o.llm_calls,
+            f"${o.llm_cost_usd:.3f}",
+        ]
+        for o in report.outcomes
+    ]
+    print_table(
+        "E2: Luna micro-benchmark (18 questions)",
+        ["question", "grade", "answer", "expected", "llm calls", "cost"],
+        rows,
+    )
+    print(
+        f"\nLuna: {report.correct} correct, {report.plausible} plausible, "
+        f"{report.incorrect} incorrect of {len(report.outcomes)} "
+        f"({report.accuracy:.0%} accuracy; paper: 13/3/2, 72%)"
+    )
+
+    assert len(report.outcomes) == 18
+    # Shape: accuracy in the paper's band, small incorrect tail.
+    assert 10 <= report.correct <= 17
+    assert report.incorrect <= 5
+    assert report.correct + report.plausible >= 13
+    # Ambiguous questions are the dominant failure mode, as in the paper.
+    ambiguous_ids = {q.qid for q in question_suite if q.ambiguous}
+    wrong_ids = {o.qid for o in report.outcomes if o.grade is Grade.INCORRECT}
+    assert wrong_ids & ambiguous_ids

@@ -1,0 +1,47 @@
+"""E6 — Figure 5 / §6.2: the sample Luna query end-to-end.
+
+Paper: for "What percent of environmentally caused incidents were due to
+wind?" Luna produces a plan (QueryDatabase -> LlmFilter -> Count, a
+second LlmFilter -> Count, then a math op) and translates it into
+Sycamore code. This bench reproduces the full artefact chain — plan,
+generated code, execution trace — and checks the computed percentage
+against corpus ground truth.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.luna import Luna
+
+QUESTION = "What percent of environmentally caused incidents were due to wind?"
+
+
+def test_bench_luna_plan_example(benchmark, bench_context, ntsb_bench_corpus):
+    records, _ = ntsb_bench_corpus
+    luna = Luna(bench_context, planner_model="sim-large", policy="quality")
+
+    result = benchmark.pedantic(
+        luna.query, args=(QUESTION,), kwargs={"index": "ntsb"}, rounds=1, iterations=1
+    )
+
+    print("\nE6 / Figure 5 — plan (natural language):")
+    print(result.optimized_plan.to_natural_language())
+    print("\nGenerated Sycamore code (cf. §6.2):")
+    print(result.code)
+    print("\nExecution trace:")
+    print(result.trace.render())
+
+    env = sum(1 for r in records if r.cause_category == "environmental")
+    wind = sum(1 for r in records if r.cause_detail == "wind")
+    expected = 100.0 * wind / env
+    print(f"\nanswer={result.answer:.1f}%  ground truth={expected:.1f}%")
+
+    # Plan shape matches the paper's figure: two filter->count branches
+    # feeding a math node.
+    operations = [n.operation for n in result.optimized_plan.nodes]
+    assert operations.count("Count") == 2
+    assert operations[-1] == "Math"
+    assert "out_0 = context.read.index('ntsb')" in result.code
+    assert "math_operation" in result.code
+    # Answer within a plausible band of truth (LLM filters are noisy).
+    assert result.answer == pytest.approx(expected, rel=0.3)

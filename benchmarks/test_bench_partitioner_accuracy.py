@@ -1,0 +1,96 @@
+"""E1 — §4 partitioner accuracy table.
+
+Paper: "Our model achieved a mean average precision (mAP) of 0.602 and a
+mean average recall (mAR) of 0.743 on the DocLayNet competition
+benchmark. By contrast, a document API from a large cloud vendor achieved
+only an mAP of 0.344 with an mAR of 0.466."
+
+This bench runs both detector operating points over the synthetic layout
+benchmark and computes real COCO-style mAP@[.5:.95] / mAR@100. The shape
+requirement: Aryn beats the cloud baseline by a wide margin (~1.7x mAP in
+the paper), and both land near the paper's absolute numbers (the presets
+are calibrated to them).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.evaluation import PredictedBox, boxes_from_pages, evaluate_detections
+from repro.partitioner import (
+    ARYN_DETECTOR,
+    CLOUD_BASELINE_DETECTOR,
+    SegmentationModel,
+)
+
+PAPER_NUMBERS = {
+    "aryn-deformable-detr": (0.602, 0.743),
+    "cloud-vendor-api": (0.344, 0.466),
+}
+
+
+def _detect_all(config, docs):
+    model = SegmentationModel(config, seed=0)
+    predictions = []
+    for doc in docs:
+        for page_number, page in enumerate(doc.pages):
+            image_id = f"{doc.doc_id}:{page_number}"
+            for det in model.detect(page, page_key=image_id):
+                predictions.append(
+                    PredictedBox(
+                        image_id=image_id,
+                        label=det.label,
+                        bbox=det.bbox,
+                        score=det.confidence,
+                    )
+                )
+    return predictions
+
+
+@pytest.fixture(scope="module")
+def ground_truth(layout_bench_docs):
+    boxes = []
+    for doc in layout_bench_docs:
+        boxes.extend(boxes_from_pages(doc.pages, doc.doc_id))
+    return boxes
+
+
+def test_bench_partitioner_accuracy(benchmark, layout_bench_docs, ground_truth):
+    results = {}
+    for config in (ARYN_DETECTOR, CLOUD_BASELINE_DETECTOR):
+        predictions = _detect_all(config, layout_bench_docs)
+        metrics = evaluate_detections(ground_truth, predictions)
+        results[config.name] = metrics
+
+    rows = []
+    for name, metrics in results.items():
+        paper_ap, paper_ar = PAPER_NUMBERS[name]
+        rows.append(
+            [
+                name,
+                f"{metrics.mean_ap:.3f}",
+                f"{paper_ap:.3f}",
+                f"{metrics.mean_ar:.3f}",
+                f"{paper_ar:.3f}",
+            ]
+        )
+    print_table(
+        "E1: document segmentation accuracy (DocLayNet-style benchmark)",
+        ["model", "mAP", "mAP(paper)", "mAR", "mAR(paper)"],
+        rows,
+    )
+
+    aryn = results["aryn-deformable-detr"]
+    cloud = results["cloud-vendor-api"]
+    # Shape: Aryn wins decisively, roughly by the paper's factor.
+    assert aryn.mean_ap > cloud.mean_ap * 1.4
+    assert aryn.mean_ar > cloud.mean_ar * 1.3
+    # Calibration: within a small band of the paper's absolute numbers.
+    assert aryn.mean_ap == pytest.approx(0.602, abs=0.06)
+    assert aryn.mean_ar == pytest.approx(0.743, abs=0.06)
+    assert cloud.mean_ap == pytest.approx(0.344, abs=0.06)
+    assert cloud.mean_ar == pytest.approx(0.466, abs=0.06)
+
+    # Time the expensive path: running the Aryn detector over the corpus.
+    benchmark.pedantic(
+        _detect_all, args=(ARYN_DETECTOR, layout_bench_docs), rounds=1, iterations=1
+    )

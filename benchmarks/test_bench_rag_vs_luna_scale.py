@@ -1,0 +1,104 @@
+"""C1 — §2 claim: "the simple RAG approach simply does not scale.
+RAG accuracy degrades quickly as one asks more complex questions, adds
+more data."
+
+This bench sweeps corpus size and runs the same analytic questions
+through the RAG baseline (top-k retrieve + generate) and through Luna
+(sweep-and-harvest plans). Shape: Luna's accuracy stays roughly flat as
+the corpus grows; RAG's collapses once the answer set no longer fits
+through the top-k keyhole.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.datagen import generate_ntsb_corpus
+from repro.evaluation import Grade, grade_exact_count, grade_numeric
+from repro.luna import Luna
+from repro.partitioner import ArynPartitioner
+from repro.rag import RagPipeline
+from repro.sycamore import SycamoreContext
+
+CORPUS_SIZES = (25, 50, 100, 200)
+
+
+def _questions(records):
+    icing = sum(1 for r in records if r.cause_detail == "icing")
+    birds = sum(1 for r in records if r.cause_detail == "bird_strike")
+    mech = sum(1 for r in records if r.cause_category == "mechanical")
+    pct = 100.0 * mech / len(records)
+    return [
+        ("How many incidents were caused by icing?", "count", icing),
+        ("How many incidents involved a bird strike?", "count", birds),
+        (
+            "What percent of incidents were caused by mechanical failure?",
+            "numeric",
+            pct,
+        ),
+    ]
+
+
+def _grade(kind, answer, expected, n_docs=100):
+    if kind == "count":
+        return grade_exact_count(answer, int(expected), plausible_slack=1)
+    # Percentages get the same +-1-document slack exact counts get.
+    one_doc = 100.0 / n_docs
+    return grade_numeric(answer, float(expected), correct_rel_tol=0.05,
+                         correct_abs_tol=max(1.0, one_doc))
+
+
+def _run_at_size(n_docs):
+    records, raws = generate_ntsb_corpus(n_docs, seed=31)
+    ctx = SycamoreContext(parallelism=8, seed=5)
+    docs = (
+        ctx.read.raw(raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(
+            {"state": "string", "incident_year": "int", "weather_related": "bool"},
+            model="sim-large",
+        )
+    )
+    docs.write.index("ntsb")
+    chunk_index = ctx.catalog.create("chunks")
+    RagPipeline.ingest(chunk_index, ctx.read.index("ntsb").take_all(), chunk_tokens=200)
+    rag = RagPipeline(chunk_index, ctx.llm, model="sim-large", top_k=5)
+    luna = Luna(ctx, planner_model="sim-large", policy="quality")
+
+    questions = _questions(records)
+    rag_correct = luna_correct = 0
+    for question, kind, expected in questions:
+        rag_grade = _grade(kind, rag.answer(question).answer, expected, n_docs)
+        rag_correct += rag_grade.grade is Grade.CORRECT
+        try:
+            luna_answer = luna.query(question, index="ntsb").answer
+            luna_grade = _grade(kind, luna_answer, expected, n_docs)
+            luna_correct += luna_grade.grade is Grade.CORRECT
+        except Exception:
+            pass
+    return rag_correct / len(questions), luna_correct / len(questions)
+
+
+def test_bench_rag_vs_luna_scale(benchmark):
+    def sweep():
+        return {size: _run_at_size(size) for size in CORPUS_SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [size, f"{rag:.0%}", f"{luna:.0%}"]
+        for size, (rag, luna) in results.items()
+    ]
+    print_table(
+        "C1: accuracy vs corpus size (aggregation questions)",
+        ["corpus size", "RAG top-5", "Luna"],
+        rows,
+    )
+
+    small_rag, _ = results[CORPUS_SIZES[0]]
+    big_rag, big_luna = results[CORPUS_SIZES[-1]]
+    luna_accuracies = [luna for _, luna in results.values()]
+    # Shape: RAG degrades with scale; Luna stays strong throughout.
+    assert big_rag < max(small_rag, 0.4)
+    assert big_rag <= 1 / 3  # keyhole: counts structurally wrong at 200 docs
+    assert min(luna_accuracies) >= 2 / 3
+    assert big_luna > big_rag

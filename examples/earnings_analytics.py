@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Financial-analyst workload over earnings reports (paper §2d).
+
+Covers the paper's motivating questions — revenue growth of companies
+whose CEO changed, sector comparisons, the BNPL market — plus the
+pay-as-you-go knowledge-graph projection the paper discusses (§7).
+
+Run: python examples/earnings_analytics.py
+"""
+
+from repro import ArynPartitioner, Luna, SycamoreContext
+from repro.datagen import generate_earnings_corpus
+from repro.datagen.earnings import build_market_database
+from repro.docmodel import Document
+from repro.indexes import GraphStore
+
+
+def main() -> None:
+    records, raw_docs = generate_earnings_corpus(80, seed=13)
+    ctx = SycamoreContext(parallelism=8)
+    docs = (
+        ctx.read.raw(raw_docs)
+        .partition(ArynPartitioner())
+        .extract_properties(
+            {
+                "company": "string",
+                "sector": "string",
+                "revenue_musd": "float",
+                "revenue_growth_pct": "float",
+                "ceo_changed": "bool",
+            }
+        )
+        .classify(["positive", "negative", "neutral"], "sentiment")
+    )
+    docs.write.index("earnings")
+    print(f"indexed {len(ctx.catalog.get('earnings'))} earnings reports")
+
+    # The structured "database" of the paper's data-integration pattern.
+    market_rows = build_market_database(records, seed=1)
+    ctx.read.documents(
+        [Document(properties=row) for row in market_rows]
+    ).write.index("market_db")
+
+    luna = Luna(ctx, policy="balanced")
+
+    questions = [
+        "What was the average revenue growth of companies whose CEO recently changed?",
+        "How many companies in the Cloud sector lowered guidance?",
+        "Which sector had the most companies with negative sentiment?",
+        "List the fastest growing companies in the BNPL market.",
+    ]
+    for question in questions:
+        result = luna.query(question, index="earnings")
+        answer = result.answer
+        if isinstance(answer, str) and len(answer) > 120:
+            answer = answer[:117] + "..."
+        print(f"\nQ: {question}\nA: {answer}")
+
+    # Data integration (paper §1): "list the fastest growing companies in
+    # the BNPL market and their competitors, where the competitive
+    # information may involve a lookup in a database".
+    result = luna.query(
+        "List the fastest growing companies in the BNPL market and their competitors.",
+        index="earnings",
+        secondary_indexes=["market_db"],
+    )
+    print("\nQ: ... and their competitors (join against market_db)")
+    for company, competitors in result.answer:
+        print(f"  {company}: {', '.join(competitors)}")
+
+    # Execution history (§6.1): everything asked so far, with costs.
+    print("\nquery history:")
+    print(luna.history.render())
+
+    # Direct DocSet analytics (the data-engineer path, paper §5).
+    ds = ctx.read.index("earnings")
+    by_sector = ds.aggregate("avg", "revenue_growth_pct", group_by="sector")
+    print("\naverage revenue growth by sector (DocSet API):")
+    for sector, value in sorted(by_sector.items(), key=lambda kv: str(kv[0])):
+        if sector is not None and value is not None:
+            print(f"  {sector:<12} {value:6.1f}%")
+
+    # Pay-as-you-go knowledge graph (paper §7): project extracted facts
+    # into a graph with document provenance.
+    graph = GraphStore()
+    written = ds.write.graph(
+        graph,
+        subject_property="company",
+        edges=[("in_sector", "sector"), ("sentiment", "sentiment")],
+    )
+    print(f"\nknowledge graph: {graph.num_entities()} entities, "
+          f"{graph.num_triples()} triples ({written} written)")
+    ai_companies = graph.incoming("AI", "in_sector")
+    print(f"companies in the AI sector (graph lookup): {ai_companies[:5]}...")
+    if ai_companies:
+        provenance = graph.provenance(ai_companies[0], "in_sector", "AI")
+        print(f"fact provenance for {ai_companies[0]!r}: report {provenance}")
+
+
+if __name__ == "__main__":
+    main()

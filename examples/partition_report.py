@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The Aryn Partitioner on one accident report (paper Figure 2 / §4).
+
+Shows the element inventory the vision pipeline recovers — typed regions,
+a structured table with identified cells, an image with a summary — and
+contrasts it with the naive text-extraction baseline and with the weaker
+cloud-vendor detector the paper compares against.
+
+Run: python examples/partition_report.py
+"""
+
+from repro import ArynPartitioner, NaiveTextPartitioner
+from repro.datagen import generate_ntsb_corpus
+from repro.docmodel import TableElement
+from repro.partitioner import CLOUD_BASELINE_DETECTOR
+
+
+def show_elements(title: str, doc) -> None:
+    print(f"\n--- {title} ({len(doc.elements)} elements) ---")
+    for element in doc.elements:
+        preview = element.text_representation().replace("\n", " ")[:60]
+        page = f"p{element.page}" if element.page is not None else "--"
+        print(f"  [{page}] {element.type:<15} {preview}")
+
+
+def main() -> None:
+    _, raw_docs = generate_ntsb_corpus(1, seed=7)
+    raw = raw_docs[0]
+
+    # The Aryn Partitioner: vision segmentation + table structure + OCR.
+    aryn = ArynPartitioner()
+    doc = aryn.partition(raw)
+    show_elements("Aryn Partitioner", doc)
+
+    # Table extraction: the paper converts tables "to formats like HTML,
+    # CSV, and Pandas Dataframes".
+    tables = [e for e in doc.elements if isinstance(e, TableElement)]
+    if tables:
+        table = tables[0].table
+        print("\nfirst recovered table as CSV:")
+        print(table.to_csv())
+        print("as records:", table.to_records()[:2])
+        print("as HTML:", table.to_html()[:120], "...")
+
+    # The weaker detector the paper benchmarks against (§4).
+    cloud = ArynPartitioner(detector=CLOUD_BASELINE_DETECTOR)
+    cloud_doc = cloud.partition(raw)
+    print(
+        f"\ncloud-vendor baseline recovered {len(cloud_doc.elements)} elements "
+        f"(Aryn: {len(doc.elements)}); tables: "
+        f"{len(cloud_doc.tables)} vs {len(doc.tables)}"
+    )
+
+    # The structure-blind baseline: a flat character stream.
+    naive = NaiveTextPartitioner().partition(raw)
+    print(
+        f"naive text extraction: {len(naive.elements)} untyped chunks, "
+        f"{len(naive.tables)} tables (table semantics lost)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 3 pipeline plus one Luna query.
+
+Generates a small synthetic NTSB corpus, runs the canonical Sycamore ETL
+script (partition -> extract_properties -> explode -> embed -> write to a
+vector index), then asks Luna the paper's sample question.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import ArynPartitioner, Luna, SycamoreContext
+from repro.datagen import generate_ntsb_corpus
+
+
+def main() -> None:
+    # 1. Data: a synthetic stand-in for the NTSB accident-report PDFs.
+    records, raw_docs = generate_ntsb_corpus(60, seed=0)
+    print(f"generated {len(raw_docs)} synthetic NTSB reports")
+
+    # 2. ETL (paper Figure 3): partition, extract, explode, embed, write.
+    ctx = SycamoreContext(parallelism=4)
+    docs = (
+        ctx.read.raw(raw_docs)
+        .partition(ArynPartitioner())
+        .extract_properties(
+            {
+                "us_state": "string",
+                "probable_cause": "string",
+                "weather_related": "bool",
+            }
+        )
+        .materialize()
+    )
+    docs.write.index("ntsb")  # document-level index for analytics
+    docs.explode().embed().write.index("ntsb_chunks")  # chunk-level vectors
+
+    sample = docs.first()
+    print("\nextract_properties output for one document (paper Figure 4):")
+    for key in ("us_state", "probable_cause", "weather_related"):
+        print(f"  {key}: {sample.properties[key]!r}")
+
+    # 3. Query (paper §6.2): natural language in, audited answer out.
+    luna = Luna(ctx, policy="balanced")
+    result = luna.query(
+        "What percent of environmentally caused incidents were due to wind?",
+        index="ntsb",
+    )
+    print("\ngenerated Sycamore code:")
+    print(result.code)
+    print(f"\nanswer: {result.answer:.1f}%")
+    print(
+        f"(LLM calls: {result.trace.total_llm_calls()}, "
+        f"cost: ${result.trace.total_cost_usd():.4f})"
+    )
+
+    truth_env = sum(1 for r in records if r.cause_category == "environmental")
+    truth_wind = sum(1 for r in records if r.cause_detail == "wind")
+    print(f"ground truth: {100.0 * truth_wind / truth_env:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

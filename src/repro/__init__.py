@@ -1,0 +1,55 @@
+"""repro — a from-scratch reproduction of the Aryn LLM-powered
+unstructured analytics system (Anderson et al., CIDR 2025).
+
+Layered like the paper's architecture (Figure 1):
+
+* :mod:`repro.docmodel` — hierarchical multi-modal documents (§5.1).
+* :mod:`repro.partitioner` — the Aryn Partitioner (§4).
+* :mod:`repro.sycamore` — the DocSet processing engine (§5).
+* :mod:`repro.luna` — natural-language query planning & execution (§6).
+* :mod:`repro.llm`, :mod:`repro.embedding`, :mod:`repro.indexes`,
+  :mod:`repro.execution` — the substrates (LLM runtime, embeddings,
+  keyword/vector/graph stores, Ray-like dataflow execution).
+* :mod:`repro.rag` — the retrieval-augmented-generation baseline.
+* :mod:`repro.datagen`, :mod:`repro.evaluation` — synthetic corpora and
+  the benchmark harnesses.
+
+Quickstart::
+
+    from repro import Luna, SycamoreContext, ArynPartitioner
+    from repro.datagen import generate_ntsb_corpus
+
+    records, raw_docs = generate_ntsb_corpus(100, seed=0)
+    ctx = SycamoreContext(parallelism=4)
+    (ctx.read.raw(raw_docs)
+        .partition(ArynPartitioner())
+        .extract_properties({"state": "string", "weather_related": "bool"})
+        .write.index("ntsb"))
+    luna = Luna(ctx)
+    result = luna.query(
+        "What percent of environmentally caused incidents were due to wind?",
+        index="ntsb",
+    )
+"""
+
+from .docmodel import Document, Element, Table
+from .luna import Luna, LunaResult
+from .partitioner import ArynPartitioner, NaiveTextPartitioner
+from .rag import RagPipeline
+from .sycamore import DocSet, SycamoreContext
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ArynPartitioner",
+    "DocSet",
+    "Document",
+    "Element",
+    "Luna",
+    "LunaResult",
+    "NaiveTextPartitioner",
+    "RagPipeline",
+    "SycamoreContext",
+    "Table",
+    "__version__",
+]

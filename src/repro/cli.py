@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Build a synthetic NTSB corpus, run the Figure-3 ETL pipeline, and
+    answer the paper's sample question (Figure 5) with a full explain.
+``query``
+    Ask an arbitrary natural-language question against a freshly-built
+    corpus (``--dataset ntsb|earnings``).
+``partition``
+    Show the Aryn Partitioner's element inventory for one synthetic
+    report (the Figure-2 view).
+
+All commands are offline and deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ArynPartitioner, Luna, SycamoreContext
+from .datagen import generate_earnings_corpus, generate_ntsb_corpus
+
+_NTSB_SCHEMA = {
+    "state": "string",
+    "incident_year": "int",
+    "weather_related": "bool",
+    "injuries_fatal": "int",
+}
+_EARNINGS_SCHEMA = {
+    "company": "string",
+    "sector": "string",
+    "revenue_musd": "float",
+    "revenue_growth_pct": "float",
+    "ceo_changed": "bool",
+}
+
+
+def _build_context(dataset: str, n_docs: int, seed: int, parallelism: int) -> SycamoreContext:
+    ctx = SycamoreContext(parallelism=parallelism, seed=seed)
+    if dataset == "ntsb":
+        _, raws = generate_ntsb_corpus(n_docs, seed=seed)
+        schema = _NTSB_SCHEMA
+    else:
+        _, raws = generate_earnings_corpus(n_docs, seed=seed)
+        schema = _EARNINGS_SCHEMA
+    (
+        ctx.read.raw(raws)
+        .partition(ArynPartitioner(seed=seed))
+        .extract_properties(schema)
+        .write.index(dataset)
+    )
+    return ctx
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document NTSB corpus (seed {args.seed})...")
+    ctx = _build_context("ntsb", args.docs, args.seed, args.parallelism)
+    luna = Luna(ctx, policy=args.policy)
+    result = luna.query(
+        "What percent of environmentally caused incidents were due to wind?",
+        index="ntsb",
+    )
+    print(result.explain())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    luna = Luna(ctx, policy=args.policy)
+    result = luna.query(args.question, index=args.dataset)
+    if args.explain:
+        print(result.explain())
+    else:
+        print("plan:")
+        print(result.optimized_plan.to_natural_language())
+        print(f"\nanswer: {result.answer}")
+        print(
+            f"(LLM calls: {result.trace.total_llm_calls()}, "
+            f"cost: ${result.trace.total_cost_usd():.4f})"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    _, raws = generate_ntsb_corpus(1, seed=args.seed)
+    doc = ArynPartitioner(seed=args.seed).partition(raws[0])
+    print(f"document {doc.doc_id}: {len(doc.elements)} elements")
+    for element in doc.elements:
+        preview = element.text_representation().replace("\n", " ")[:64]
+        page = f"p{element.page}" if element.page is not None else "--"
+        print(f"  [{page}] {element.type:<15} {preview}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the Aryn LLM-powered unstructured analytics system",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0, help="corpus/model seed")
+        p.add_argument("--docs", type=int, default=60, help="corpus size")
+        p.add_argument("--parallelism", type=int, default=4)
+        p.add_argument(
+            "--policy",
+            choices=("quality", "balanced", "cost"),
+            default="balanced",
+            help="optimizer policy",
+        )
+
+    demo = sub.add_parser("demo", help="run the paper's Figure 3 + Figure 5 demo")
+    common(demo)
+    demo.set_defaults(handler=_cmd_demo)
+
+    query = sub.add_parser("query", help="ask a natural-language question")
+    common(query)
+    query.add_argument("question", help="the natural-language question")
+    query.add_argument(
+        "--dataset", choices=("ntsb", "earnings"), default="ntsb"
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the full audit trail"
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    partition = sub.add_parser(
+        "partition", help="show the partitioner's output for one report"
+    )
+    partition.add_argument("--seed", type=int, default=0)
+    partition.set_defaults(handler=_cmd_partition)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

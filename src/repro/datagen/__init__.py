@@ -1,0 +1,54 @@
+"""Synthetic corpora with exact ground truth (see DESIGN.md §1).
+
+* :mod:`repro.datagen.ntsb` — aviation accident reports.
+* :mod:`repro.datagen.earnings` — financial earnings reports.
+* :mod:`repro.datagen.layout` — DocLayNet-like layout benchmark.
+* :mod:`repro.datagen.questions` — the 18-question Luna micro-benchmark.
+"""
+
+from .earnings import CompanyReport, SECTORS, generate_company, render_report
+from .earnings import generate_corpus as generate_earnings_corpus
+from .layout import generate_layout_benchmark
+from .manuals import ManualPart, ProductManual, generate_manual, render_manual
+from .manuals import generate_corpus as generate_manuals_corpus
+from .ntsb import (
+    CATEGORY_WEIGHTS,
+    CAUSE_TAXONOMY,
+    IncidentRecord,
+    generate_incident,
+    render_incident,
+)
+from .ntsb import generate_corpus as generate_ntsb_corpus
+from .questions import (
+    BenchmarkQuestion,
+    build_earnings_questions,
+    build_full_suite,
+    build_ntsb_questions,
+)
+from .render import PageLayouter, wrap_text
+
+__all__ = [
+    "BenchmarkQuestion",
+    "CATEGORY_WEIGHTS",
+    "CAUSE_TAXONOMY",
+    "CompanyReport",
+    "IncidentRecord",
+    "ManualPart",
+    "ProductManual",
+    "PageLayouter",
+    "SECTORS",
+    "build_earnings_questions",
+    "build_full_suite",
+    "build_ntsb_questions",
+    "generate_company",
+    "generate_earnings_corpus",
+    "generate_incident",
+    "generate_layout_benchmark",
+    "generate_manual",
+    "generate_manuals_corpus",
+    "generate_ntsb_corpus",
+    "render_incident",
+    "render_manual",
+    "render_report",
+    "wrap_text",
+]

@@ -1,0 +1,239 @@
+"""Synthetic financial earnings-report corpus.
+
+Covers the paper's financial-analyst use case (§2d and the Luna
+micro-benchmark, which used "questions from financial customers on an
+earnings report dataset"). Each :class:`CompanyReport` carries full
+ground truth — sector, revenue, growth, guidance direction, CEO change —
+rendered into a report with an MD&A narrative, a quarterly results table
+and an outlook section whose vocabulary is consistent with the simulated
+LLM's world knowledge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..docmodel.raw import RawDocument
+from .render import PageLayouter
+
+SECTORS = ["AI", "BNPL", "Cloud", "Healthcare", "Retail", "Energy"]
+
+_NAME_PARTS_A = [
+    "Acme", "Borealis", "Cobalt", "Dynamo", "Everest", "Fathom", "Granite",
+    "Helios", "Ironwood", "Juniper", "Krypton", "Lumen", "Meridian", "Nimbus",
+    "Orchid", "Pinnacle", "Quasar", "Redwood", "Summit", "Tundra", "Umbra",
+    "Vertex", "Willow", "Xenon", "Yonder", "Zephyr",
+]
+_NAME_PARTS_B = {
+    "AI": ["Intelligence", "Analytics", "Robotics", "Systems"],
+    "BNPL": ["Payments", "Credit", "Financial", "Pay"],
+    "Cloud": ["Cloud", "Compute", "Infrastructure", "Networks"],
+    "Healthcare": ["Health", "Therapeutics", "Medical", "Biosciences"],
+    "Retail": ["Retail", "Commerce", "Brands", "Stores"],
+    "Energy": ["Energy", "Power", "Solar", "Resources"],
+}
+
+_CEO_FIRST = ["Avery", "Blake", "Casey", "Dana", "Ellis", "Frankie", "Gray",
+              "Harper", "Indra", "Jordan", "Kai", "Logan", "Morgan", "Noel"]
+_CEO_LAST = ["Adler", "Bennett", "Castillo", "Dawson", "Egan", "Fischer",
+             "Grant", "Hayes", "Iverson", "Jensen", "Kwan", "Lindqvist",
+             "Moreau", "Novak"]
+
+
+@dataclass
+class CompanyReport:
+    """Ground truth for one synthetic earnings report."""
+
+    report_id: str
+    company: str
+    ticker: str
+    sector: str
+    fiscal_year: int
+    quarter: str
+    revenue_musd: float
+    revenue_growth_pct: float
+    eps_usd: float
+    guidance: str  # raised | lowered | maintained
+    ceo_changed: bool
+    ceo_name: str
+    sentiment: str  # positive | negative | neutral
+    narrative: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """The record as a plain dictionary (the document ground truth)."""
+        return {
+            "report_id": self.report_id,
+            "company": self.company,
+            "ticker": self.ticker,
+            "sector": self.sector,
+            "fiscal_year": self.fiscal_year,
+            "quarter": self.quarter,
+            "revenue_musd": self.revenue_musd,
+            "revenue_growth_pct": self.revenue_growth_pct,
+            "eps_usd": self.eps_usd,
+            "guidance": self.guidance,
+            "ceo_changed": self.ceo_changed,
+            "ceo_name": self.ceo_name,
+            "sentiment": self.sentiment,
+        }
+
+
+def generate_company(rng: random.Random, index: int, year: int = 2024) -> CompanyReport:
+    """Generate one ground-truth company report record."""
+    sector = rng.choice(SECTORS)
+    name = f"{rng.choice(_NAME_PARTS_A)} {rng.choice(_NAME_PARTS_B[sector])} Inc."
+    ticker = "".join(word[0] for word in name.split()[:3]).upper() + str(index % 10)
+    growth = round(rng.uniform(-25.0, 55.0), 1)
+    revenue = round(rng.uniform(80.0, 4000.0), 1)
+    eps = round(rng.uniform(-1.5, 6.0), 2)
+    guidance = rng.choices(
+        ["raised", "lowered", "maintained"], weights=[0.35, 0.25, 0.40]
+    )[0]
+    ceo_changed = rng.random() < 0.3
+    ceo_name = f"{rng.choice(_CEO_FIRST)} {rng.choice(_CEO_LAST)}"
+    # Sentiment follows the guidance direction: that is also what the
+    # rendered narrative expresses, so an LLM reading the text and an
+    # analyst reading the ground truth agree on what "positive" means.
+    sentiment = {"raised": "positive", "lowered": "negative", "maintained": "neutral"}[
+        guidance
+    ]
+    quarter = rng.choice(["Q1", "Q2", "Q3", "Q4"])
+
+    growth_phrase = (
+        f"revenue grew {growth:.1f}% year over year"
+        if growth >= 0
+        else f"revenue declined {abs(growth):.1f}% year over year"
+    )
+    guidance_phrase = {
+        "raised": "Management raised guidance for the full fiscal year, citing "
+                  "strong demand and continued margin expansion.",
+        "lowered": "Management lowered guidance for the full fiscal year, citing "
+                   "weak demand and margin compression; restructuring charges and a "
+                   "headcount reduction were announced.",
+        "maintained": "Management maintained its prior guidance for the full "
+                      "fiscal year.",
+    }[guidance]
+    ceo_phrase = (
+        f"The board announced a CEO transition: {ceo_name} was appointed as chief "
+        f"executive officer during the quarter and succeeds the prior CEO."
+        if ceo_changed
+        else f"Chief executive officer {ceo_name} reiterated the company's "
+             f"long-term strategy."
+    )
+    narrative = [
+        (
+            f"{name} ({ticker}), a company in the {sector} sector, reported "
+            f"{quarter} {year} results. Total {growth_phrase}, reaching "
+            f"${revenue:.1f} million for the quarter, with diluted earnings per "
+            f"share of ${eps:.2f}."
+        ),
+        guidance_phrase,
+        ceo_phrase,
+    ]
+    return CompanyReport(
+        report_id=f"ER-{year}-{index:05d}",
+        company=name,
+        ticker=ticker,
+        sector=sector,
+        fiscal_year=year,
+        quarter=quarter,
+        revenue_musd=revenue,
+        revenue_growth_pct=growth,
+        eps_usd=eps,
+        guidance=guidance,
+        ceo_changed=ceo_changed,
+        ceo_name=ceo_name,
+        sentiment=sentiment,
+        narrative=narrative,
+    )
+
+
+def render_report(record: CompanyReport, rng: Optional[random.Random] = None) -> RawDocument:
+    """Render a company report into a raw document."""
+    rng = rng or random.Random(hash(record.report_id) & 0xFFFF)
+    layout = PageLayouter(header_text=f"{record.company} — Investor Relations")
+    layout.add_title(f"{record.company} {record.quarter} {record.fiscal_year} Earnings Report")
+    layout.add_label_lines(
+        [
+            ("Report ID", record.report_id),
+            ("Company", record.company),
+            ("Ticker", record.ticker),
+            ("Sector", record.sector),
+            ("Fiscal Year", str(record.fiscal_year)),
+            ("Quarter", record.quarter),
+            ("Chief Executive Officer", record.ceo_name),
+        ]
+    )
+    layout.add_section_header("Financial Highlights")
+    prior_revenue = record.revenue_musd / (1.0 + record.revenue_growth_pct / 100.0)
+    layout.add_table(
+        [
+            ["Metric", f"{record.quarter} {record.fiscal_year}", f"{record.quarter} {record.fiscal_year - 1}"],
+            ["Revenue ($M)", f"{record.revenue_musd:.1f}", f"{prior_revenue:.1f}"],
+            ["Revenue growth (%)", f"{record.revenue_growth_pct:.1f}", "-"],
+            ["Diluted EPS ($)", f"{record.eps_usd:.2f}", "-"],
+        ],
+        caption="Table 1. Selected financial results.",
+    )
+    layout.add_section_header("Management Discussion and Analysis")
+    layout.add_paragraphs(record.narrative)
+    layout.add_section_header("Outlook")
+    outlook = {
+        "positive": "The company enters the next quarter optimistic, with record "
+                    "revenue in several segments and robust growth in its order book.",
+        "negative": "The company issued a cautious outlook for the next quarter, "
+                    "noting that results missed expectations.",
+        "neutral": "The company expects results in line with the prior quarter.",
+    }[record.sentiment]
+    layout.add_paragraphs([outlook])
+    layout.add_footnote(
+        "This report is a synthetic reproduction artifact, not an actual SEC filing."
+    )
+    return layout.build(doc_id=record.report_id, ground_truth=record.to_dict())
+
+
+def build_market_database(
+    records: List[CompanyReport], seed: int = 0, max_competitors: int = 3
+) -> List[dict]:
+    """The structured "database" of the paper's data-integration pattern.
+
+    The intro motivates queries like "list the fastest growing companies
+    in the BNPL market and their competitors, where the competitive
+    information may involve a lookup in a database". This builds that
+    database: one structured record per company with its competitors
+    (sector peers) and a market-share figure. Returned as plain dicts so
+    callers can wrap them as Documents or rows as they see fit.
+    """
+    rng = random.Random(seed)
+    by_sector: Dict[str, List[CompanyReport]] = {}
+    for record in records:
+        by_sector.setdefault(record.sector, []).append(record)
+    rows = []
+    for record in records:
+        peers = [r.company for r in by_sector[record.sector] if r.company != record.company]
+        rng.shuffle(peers)
+        rows.append(
+            {
+                "company": record.company,
+                "ticker": record.ticker,
+                "sector": record.sector,
+                "competitors": sorted(peers[:max_competitors]),
+                "market_share_pct": round(rng.uniform(1.0, 30.0), 1),
+            }
+        )
+    return rows
+
+
+def generate_corpus(
+    n_docs: int, seed: int = 0, year: int = 2024
+) -> Tuple[List[CompanyReport], List[RawDocument]]:
+    """Seeded corpus of company reports and their rendered documents."""
+    rng = random.Random(seed)
+    records = [generate_company(rng, index=i, year=year) for i in range(n_docs)]
+    documents = [
+        render_report(r, rng=random.Random(seed * 1_000_003 + i))
+        for i, r in enumerate(records)
+    ]
+    return records, documents

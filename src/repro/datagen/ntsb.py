@@ -1,0 +1,378 @@
+"""Synthetic NTSB aviation accident report corpus.
+
+Substitutes for the real NTSB PDFs the paper demonstrates on (DESIGN.md
+§1). Each :class:`IncidentRecord` is a fully-known ground-truth record;
+:func:`render_incident` turns it into a multi-page raw document with the
+structure of a real report: page headers, a title, a metadata block, an
+injuries table, an analysis narrative, an optional accident photo, a
+wreckage-details table (sometimes split across pages), and a probable-
+cause section. Question ground truth is computed from the records, never
+from the rendered text, so end-to-end accuracy is measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..docmodel.raw import RawDocument
+from .render import PageLayouter
+
+#: cause_category -> (cause_detail, relative weight)
+CAUSE_TAXONOMY: Dict[str, List[Tuple[str, float]]] = {
+    "environmental": [
+        ("wind", 0.45),
+        ("icing", 0.20),
+        ("turbulence", 0.10),
+        ("low_visibility", 0.15),
+        ("thunderstorm", 0.10),
+    ],
+    "mechanical": [
+        ("engine_failure", 0.45),
+        ("fuel_contamination", 0.25),
+        ("landing_gear", 0.20),
+        ("electrical", 0.10),
+    ],
+    "pilot_error": [
+        ("loss_of_control", 0.40),
+        ("misjudged_approach", 0.30),
+        ("fuel_exhaustion", 0.20),
+        ("spatial_disorientation", 0.10),
+    ],
+    "other": [
+        ("bird_strike", 0.70),
+        ("runway_incursion", 0.30),
+    ],
+}
+
+#: Default mix of top-level cause categories.
+CATEGORY_WEIGHTS: List[Tuple[str, float]] = [
+    ("environmental", 0.40),
+    ("mechanical", 0.28),
+    ("pilot_error", 0.26),
+    ("other", 0.06),
+]
+
+AIRCRAFT_MODELS = [
+    "Cessna 172", "Cessna 182", "Piper PA-28", "Beechcraft Bonanza",
+    "Cirrus SR22", "Mooney M20", "Piper PA-18", "Bell 206", "Robinson R44",
+    "Diamond DA40",
+]
+
+PHASES = ["takeoff", "initial climb", "cruise", "approach", "landing", "taxi"]
+
+CITIES: Dict[str, List[str]] = {
+    "AK": ["Anchorage", "Fairbanks", "Juneau"],
+    "TX": ["Houston", "Dallas", "Austin"],
+    "CA": ["Sacramento", "Fresno", "San Diego"],
+    "FL": ["Orlando", "Tampa", "Miami"],
+    "CO": ["Denver", "Boulder", "Pueblo"],
+    "WA": ["Seattle", "Spokane", "Tacoma"],
+    "AZ": ["Phoenix", "Tucson", "Flagstaff"],
+    "NY": ["Albany", "Buffalo", "Syracuse"],
+    "MT": ["Billings", "Missoula", "Helena"],
+    "KS": ["Wichita", "Topeka", "Salina"],
+}
+
+_DAMAGE_LEVELS = [("substantial", 0.6), ("minor", 0.25), ("destroyed", 0.15)]
+
+
+@dataclass
+class IncidentRecord:
+    """Ground truth for one synthetic accident report."""
+
+    report_id: str
+    date: str  # ISO YYYY-MM-DD
+    year: int
+    city: str
+    state: str
+    aircraft: str
+    phase: str
+    cause_category: str
+    cause_detail: str
+    weather_related: bool
+    injuries_fatal: int
+    injuries_serious: int
+    injuries_minor: int
+    damage: str
+    probable_cause: str
+    narrative: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """The record as a plain dictionary (the document ground truth)."""
+        return {
+            "report_id": self.report_id,
+            "date": self.date,
+            "year": self.year,
+            "city": self.city,
+            "state": self.state,
+            "aircraft": self.aircraft,
+            "phase": self.phase,
+            "cause_category": self.cause_category,
+            "cause_detail": self.cause_detail,
+            "weather_related": self.weather_related,
+            "injuries_fatal": self.injuries_fatal,
+            "injuries_serious": self.injuries_serious,
+            "injuries_minor": self.injuries_minor,
+            "damage": self.damage,
+            "probable_cause": self.probable_cause,
+        }
+
+
+# ----------------------------------------------------------------------
+# Narrative generation
+# ----------------------------------------------------------------------
+
+_MONTH_NAMES = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+_CAUSE_SENTENCES: Dict[str, List[str]] = {
+    "wind": [
+        "the airplane encountered a strong gusty crosswind during the {phase}",
+        "a sudden wind gust pushed the airplane off the runway centerline",
+        "windshear was reported by the pilot shortly before the accident",
+    ],
+    "icing": [
+        "ice accumulation on the wings degraded lift during the {phase}",
+        "the airplane encountered freezing rain and rapid icing conditions",
+    ],
+    "turbulence": [
+        "severe turbulence was encountered during the {phase}",
+        "the airplane entered an area of strong turbulent air",
+    ],
+    "low_visibility": [
+        "dense fog reduced visibility below approach minimums",
+        "the pilot continued flight into an area of low visibility and haze",
+    ],
+    "thunderstorm": [
+        "a fast-moving thunderstorm with lightning crossed the flight path",
+        "convective activity near the airport produced heavy rain and lightning",
+    ],
+    "engine_failure": [
+        "the engine experienced a total loss of engine power during the {phase}",
+        "a fatigue crack in a connecting rod led to engine failure",
+    ],
+    "fuel_contamination": [
+        "water in the fuel caused fuel contamination and a partial loss of engine power",
+        "the fuel sample drained after the accident showed fuel contamination",
+    ],
+    "landing_gear": [
+        "the landing gear collapsed on touchdown",
+        "a landing gear malfunction prevented the gear from extending",
+    ],
+    "electrical": [
+        "an in-flight electrical failure disabled the avionics",
+        "smoke from an electrical failure filled the cockpit",
+    ],
+    "loss_of_control": [
+        "the pilot failed to maintain directional control during the {phase}",
+        "the airplane exceeded the critical angle of attack and entered a loss of control",
+    ],
+    "misjudged_approach": [
+        "the pilot misjudged the approach path and touched down short of the runway",
+        "an improper landing flare resulted in a hard landing",
+    ],
+    "fuel_exhaustion": [
+        "the flight continued past the planned fuel stop, resulting in fuel exhaustion",
+        "inadequate preflight planning led to fuel exhaustion",
+    ],
+    "spatial_disorientation": [
+        "the pilot experienced spatial disorientation in night instrument conditions",
+    ],
+    "bird_strike": [
+        "the airplane struck a bird shortly after rotation",
+        "a flock of birds crossed the departure path and the airplane struck a bird",
+    ],
+    "runway_incursion": [
+        "a vehicle entered the runway, forcing an abrupt rejected landing",
+    ],
+}
+
+_PROBABLE_CAUSE: Dict[str, str] = {
+    "wind": "The airplane's encounter with a gusty crosswind during the {phase}, "
+            "which resulted in a loss of directional control.",
+    "icing": "An encounter with icing conditions that degraded the airplane's "
+             "aerodynamic performance.",
+    "turbulence": "An encounter with severe turbulence that exceeded the "
+                  "airplane's structural capability.",
+    "low_visibility": "The pilot's continued flight into low visibility "
+                      "conditions, which resulted in controlled flight into terrain.",
+    "thunderstorm": "An encounter with a thunderstorm and associated convective "
+                    "activity during the {phase}.",
+    "engine_failure": "A total loss of engine power due to a mechanical "
+                      "malfunction within the engine.",
+    "fuel_contamination": "The pilot's failure to remove all water from the fuel "
+                          "tank, which resulted in fuel contamination and a "
+                          "subsequent partial loss of engine power.",
+    "landing_gear": "A landing gear malfunction that resulted in the landing "
+                    "gear collapsing during the {phase}.",
+    "electrical": "An in-flight electrical failure that resulted in a loss of "
+                  "critical avionics.",
+    "loss_of_control": "The pilot's failure to maintain directional control "
+                       "during the {phase}.",
+    "misjudged_approach": "The pilot's improper landing flare and misjudged "
+                          "approach, which resulted in a hard landing.",
+    "fuel_exhaustion": "Inadequate preflight fuel planning by the pilot, which "
+                       "resulted in fuel exhaustion.",
+    "spatial_disorientation": "The pilot's spatial disorientation during night "
+                              "conditions, which resulted in a loss of control.",
+    "bird_strike": "An in-flight collision with a bird during the {phase}.",
+    "runway_incursion": "A runway incursion by a ground vehicle during the {phase}.",
+}
+
+_FILLER_SENTENCES = [
+    "The pilot held a private pilot certificate with a rating for single-engine land airplanes.",
+    "A post-accident examination of the airframe revealed no additional anomalies.",
+    "The airplane was registered to a private owner and operated under 14 CFR Part 91.",
+    "Recorded data from the onboard GPS unit was consistent with the pilot's statement.",
+    "The closest official observation station reported conditions consistent with the pilot's account.",
+    "First responders arrived at the accident site within fifteen minutes.",
+    "The flight departed approximately one hour before the accident.",
+    "Maintenance records indicated the most recent annual inspection was completed two months earlier.",
+]
+
+
+def _weighted_choice(rng: random.Random, items: List[Tuple[str, float]]) -> str:
+    total = sum(weight for _, weight in items)
+    draw = rng.random() * total
+    cumulative = 0.0
+    for value, weight in items:
+        cumulative += weight
+        if draw <= cumulative:
+            return value
+    return items[-1][0]
+
+
+def _format_date(year: int, month: int, day: int) -> Tuple[str, str]:
+    iso = f"{year:04d}-{month:02d}-{day:02d}"
+    pretty = f"{_MONTH_NAMES[month - 1]} {day}, {year}"
+    return iso, pretty
+
+
+def generate_incident(rng: random.Random, index: int, years: Tuple[int, ...] = (2021, 2022, 2023)) -> IncidentRecord:
+    """Generate one ground-truth incident record."""
+    year = rng.choice(years)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    iso_date, _ = _format_date(year, month, day)
+    state = rng.choice(sorted(CITIES))
+    city = rng.choice(CITIES[state])
+    category = _weighted_choice(rng, CATEGORY_WEIGHTS)
+    detail = _weighted_choice(rng, CAUSE_TAXONOMY[category])
+    phase = rng.choice(PHASES)
+    fatal = rng.choice([0, 0, 0, 0, 1, 2]) if category != "other" else 0
+    serious = rng.choice([0, 0, 1, 1, 2])
+    minor = rng.choice([0, 1, 2, 3])
+    damage = _weighted_choice(rng, _DAMAGE_LEVELS)
+    cause_sentence = rng.choice(_CAUSE_SENTENCES[detail]).format(phase=phase)
+    probable = _PROBABLE_CAUSE[detail].format(phase=phase)
+    aircraft = rng.choice(AIRCRAFT_MODELS)
+
+    narrative = [
+        (
+            f"On {_MONTH_NAMES[month - 1]} {day}, {year}, a {aircraft} "
+            f"was involved in an accident near {city}, {state}. "
+            f"The pilot reported that during the {phase}, {cause_sentence}. "
+            f"The airplane subsequently impacted terrain and sustained {damage} damage."
+        ),
+        " ".join(rng.sample(_FILLER_SENTENCES, k=3)),
+    ]
+    record = IncidentRecord(
+        report_id=f"NTSB-{year}-{index:05d}",
+        date=iso_date,
+        year=year,
+        city=city,
+        state=state,
+        aircraft=aircraft,
+        phase=phase,
+        cause_category=category,
+        cause_detail=detail,
+        weather_related=category == "environmental",
+        injuries_fatal=fatal,
+        injuries_serious=serious,
+        injuries_minor=minor,
+        damage=damage,
+        probable_cause=probable,
+        narrative=narrative,
+    )
+    return record
+
+
+def render_incident(
+    record: IncidentRecord,
+    rng: Optional[random.Random] = None,
+    include_image: bool = True,
+    wreckage_rows: Optional[int] = None,
+) -> RawDocument:
+    """Render a record into a multi-page raw report document."""
+    rng = rng or random.Random(hash(record.report_id) & 0xFFFF)
+    layout = PageLayouter(header_text="National Transportation Safety Board")
+    layout.add_title("Aviation Accident Final Report")
+    _, pretty_date = _format_date(record.year, int(record.date[5:7]), int(record.date[8:10]))
+    layout.add_label_lines(
+        [
+            ("Report ID", record.report_id),
+            ("Location", f"{record.city}, {record.state}"),
+            ("Date", pretty_date),
+            ("Aircraft", record.aircraft),
+            ("Phase of Flight", record.phase),
+            ("Aircraft Damage", record.damage),
+        ]
+    )
+    layout.add_section_header("Injuries")
+    layout.add_table(
+        [
+            ["Injury Level", "Count"],
+            ["Fatal", str(record.injuries_fatal)],
+            ["Serious", str(record.injuries_serious)],
+            ["Minor", str(record.injuries_minor)],
+        ],
+        caption="Table 1. Injuries to persons.",
+    )
+    layout.add_section_header("Analysis")
+    layout.add_paragraphs(record.narrative)
+    if include_image:
+        layout.add_image(
+            description=f"Photograph of the {record.aircraft} at the accident site",
+            caption=f"Figure 1. Accident site near {record.city}, {record.state}.",
+        )
+    rows = wreckage_rows if wreckage_rows is not None else rng.randint(4, 18)
+    wreckage = [["Component", "Condition", "Position"]]
+    components = [
+        "Left wing", "Right wing", "Fuselage", "Empennage", "Propeller",
+        "Engine", "Landing gear", "Left aileron", "Right aileron", "Rudder",
+        "Elevator", "Flaps", "Cowling", "Windshield", "Left fuel tank",
+        "Right fuel tank", "Instrument panel", "Seats",
+    ]
+    conditions = ["intact", "buckled", "separated", "crushed", "bent"]
+    for i in range(rows):
+        wreckage.append(
+            [
+                components[i % len(components)],
+                rng.choice(conditions),
+                f"{rng.randint(1, 90)} ft from main wreckage",
+            ]
+        )
+    layout.add_section_header("Wreckage and Impact Information")
+    layout.add_table(wreckage, caption="Table 2. Wreckage distribution.")
+    layout.add_section_header("Probable Cause and Findings")
+    layout.add_paragraphs([f"Probable Cause: {record.probable_cause}"])
+    layout.add_footnote(
+        "This report is a synthetic reproduction artifact and not an official NTSB product."
+    )
+    return layout.build(doc_id=record.report_id, ground_truth=record.to_dict())
+
+
+def generate_corpus(
+    n_docs: int,
+    seed: int = 0,
+    years: Tuple[int, ...] = (2021, 2022, 2023),
+) -> Tuple[List[IncidentRecord], List[RawDocument]]:
+    """Generate a seeded corpus of incident records and their documents."""
+    rng = random.Random(seed)
+    records = [generate_incident(rng, index=i, years=years) for i in range(n_docs)]
+    documents = [render_incident(r, rng=random.Random(seed * 1_000_003 + i)) for i, r in enumerate(records)]
+    return records, documents

@@ -1,0 +1,243 @@
+"""The Luna micro-benchmark question suite (paper §6, experiment E2).
+
+"To evaluate Luna, we created a micro-benchmark using questions from
+financial customers on an earnings report dataset, and building our own
+questions for the NTSB reports. The questions require multiple semantic
+filters and aggregations to answer correctly."
+
+This module builds the 18-question suite — 10 NTSB + 8 earnings — with
+ground-truth answers computed directly from the generator records (never
+from rendered text). A couple of questions are deliberately ambiguous,
+mirroring the paper's observation that "the intention of certain
+ambiguous questions was misinterpreted by the query planner".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from .earnings import CompanyReport
+from .ntsb import IncidentRecord
+
+
+@dataclass
+class BenchmarkQuestion:
+    """One suite entry: the question, where it runs, and how to grade it."""
+
+    qid: str
+    question: str
+    index: str
+    kind: str  # count | percentage | numeric | categorical | list | summary
+    expected: Any
+    grade_kwargs: Dict[str, Any] = field(default_factory=dict)
+    ambiguous: bool = False
+
+
+def _most_common(counter: Counter) -> List[str]:
+    """All values tied for the maximum count (any is acceptable)."""
+    if not counter:
+        return []
+    top = max(counter.values())
+    return [value for value, count in counter.items() if count == top]
+
+
+def build_ntsb_questions(records: Sequence[IncidentRecord]) -> List[BenchmarkQuestion]:
+    """The 10 NTSB questions with ground truth from the records."""
+    env = [r for r in records if r.cause_category == "environmental"]
+    wind = [r for r in records if r.cause_detail == "wind"]
+    icing = [r for r in records if r.cause_detail == "icing"]
+    mech = [r for r in records if r.cause_category == "mechanical"]
+    birds = [r for r in records if r.cause_detail == "bird_strike"]
+    questions = [
+        BenchmarkQuestion(
+            qid="ntsb-01",
+            question="How many incidents were caused by icing?",
+            index="ntsb",
+            kind="count",
+            expected=len(icing),
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-02",
+            question="What percent of environmentally caused incidents were due to wind?",
+            index="ntsb",
+            kind="percentage",
+            expected=100.0 * len(wind) / max(len(env), 1),
+            grade_kwargs={"correct_rel_tol": 0.05, "plausible_rel_tol": 0.25,
+                          "correct_abs_tol": 2.0},
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-03",
+            question="Which state had the most incidents caused by wind?",
+            index="ntsb",
+            kind="categorical",
+            expected=_most_common(Counter(r.state for r in wind)),
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-04",
+            question="How many incidents in 2022 were weather related?",
+            index="ntsb",
+            kind="count",
+            expected=sum(1 for r in records if r.year == 2022 and r.weather_related),
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-05",
+            question="What percent of incidents were caused by mechanical failure?",
+            index="ntsb",
+            kind="percentage",
+            expected=100.0 * len(mech) / max(len(records), 1),
+            grade_kwargs={"correct_rel_tol": 0.05, "plausible_rel_tol": 0.25,
+                          "correct_abs_tol": 2.0},
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-06",
+            question="Summarize the incidents involving bird strikes.",
+            index="ntsb",
+            kind="summary",
+            expected=[r.state for r in birds][:5] + ["bird"],
+            grade_kwargs={"correct_coverage": 0.5, "plausible_coverage": 0.2},
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-07",
+            question="Which state had the most incidents in 2023?",
+            index="ntsb",
+            kind="categorical",
+            expected=_most_common(Counter(r.state for r in records if r.year == 2023)),
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-08",
+            question="How many incidents in Texas were caused by engine failure?",
+            index="ntsb",
+            kind="count",
+            expected=sum(
+                1
+                for r in records
+                if r.state == "TX" and r.cause_detail == "engine_failure"
+            ),
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-09",
+            # Deliberately ambiguous: "serious incidents" could mean
+            # serious injuries (intended) or substantial damage.
+            question="How many serious incidents happened in Alaska?",
+            index="ntsb",
+            kind="count",
+            expected=sum(
+                1 for r in records if r.state == "AK" and r.injuries_serious > 0
+            ),
+            ambiguous=True,
+        ),
+        BenchmarkQuestion(
+            qid="ntsb-10",
+            question="What was the total fatal injuries across incidents in 2023?",
+            index="ntsb",
+            kind="numeric",
+            expected=float(sum(r.injuries_fatal for r in records if r.year == 2023)),
+            grade_kwargs={"correct_abs_tol": 0.5, "plausible_rel_tol": 0.3},
+        ),
+    ]
+    return questions
+
+
+def build_earnings_questions(records: Sequence[CompanyReport]) -> List[BenchmarkQuestion]:
+    """The 8 earnings questions with ground truth from the records."""
+    ai = [r for r in records if r.sector == "AI"]
+    ceo = [r for r in records if r.ceo_changed]
+    questions = [
+        BenchmarkQuestion(
+            qid="earn-01",
+            question="How many companies raised guidance?",
+            index="earnings",
+            kind="count",
+            expected=sum(1 for r in records if r.guidance == "raised"),
+        ),
+        BenchmarkQuestion(
+            qid="earn-02",
+            question="What percent of companies in the AI sector had positive sentiment?",
+            index="earnings",
+            kind="percentage",
+            expected=100.0
+            * sum(1 for r in ai if r.sentiment == "positive")
+            / max(len(ai), 1),
+            grade_kwargs={"correct_rel_tol": 0.05, "plausible_rel_tol": 0.25,
+                          "correct_abs_tol": 2.0},
+        ),
+        BenchmarkQuestion(
+            qid="earn-03",
+            question="What was the average revenue growth of companies whose CEO recently changed?",
+            index="earnings",
+            kind="numeric",
+            expected=(
+                sum(r.revenue_growth_pct for r in ceo) / len(ceo) if ceo else 0.0
+            ),
+            grade_kwargs={"correct_rel_tol": 0.05, "plausible_rel_tol": 0.3,
+                          "correct_abs_tol": 1.0},
+        ),
+        BenchmarkQuestion(
+            qid="earn-04",
+            question="How many companies in the Cloud sector lowered guidance?",
+            index="earnings",
+            kind="count",
+            expected=sum(
+                1 for r in records if r.sector == "Cloud" and r.guidance == "lowered"
+            ),
+        ),
+        BenchmarkQuestion(
+            qid="earn-05",
+            question="What was the total revenue of companies in the Healthcare sector?",
+            index="earnings",
+            kind="numeric",
+            expected=float(
+                sum(r.revenue_musd for r in records if r.sector == "Healthcare")
+            ),
+            grade_kwargs={"correct_rel_tol": 0.03, "plausible_rel_tol": 0.25},
+        ),
+        BenchmarkQuestion(
+            qid="earn-06",
+            question="Which sector had the most companies with negative sentiment?",
+            index="earnings",
+            kind="categorical",
+            expected=_most_common(
+                Counter(r.sector for r in records if r.sentiment == "negative")
+            ),
+        ),
+        BenchmarkQuestion(
+            qid="earn-07",
+            question="List the companies whose CEO recently changed.",
+            index="earnings",
+            kind="list",
+            expected=[r.company for r in ceo],
+            grade_kwargs={"correct_jaccard": 0.75, "plausible_jaccard": 0.35},
+        ),
+        BenchmarkQuestion(
+            qid="earn-08",
+            # The paper's own example of an under-specified ask: "fastest
+            # growing" without a metric or cutoff.
+            question="List the fastest growing companies in the BNPL market.",
+            index="earnings",
+            kind="list",
+            expected=[
+                r.company
+                for r in sorted(
+                    (x for x in records if x.sector == "BNPL"),
+                    key=lambda x: -x.revenue_growth_pct,
+                )[:5]
+            ],
+            grade_kwargs={"correct_jaccard": 0.6, "plausible_jaccard": 0.15},
+            ambiguous=True,
+        ),
+    ]
+    return questions
+
+
+def build_full_suite(
+    ntsb_records: Sequence[IncidentRecord],
+    earnings_records: Sequence[CompanyReport],
+) -> List[BenchmarkQuestion]:
+    """The full 18-question micro-benchmark (10 NTSB + 8 earnings)."""
+    suite = build_ntsb_questions(ntsb_records) + build_earnings_questions(
+        earnings_records
+    )
+    assert len(suite) == 18, f"suite must have 18 questions, got {len(suite)}"
+    return suite

@@ -1,0 +1,298 @@
+"""Page layout engine for synthetic raw documents.
+
+Turns logical content blocks (titles, paragraphs, label lines, tables,
+images) into positioned :class:`~repro.docmodel.raw.RawBox` regions on
+US-Letter pages, flowing across page breaks. Tables that do not fit are
+split across pages with the header only on the first fragment — the
+paper's motivating hard case for naive text extraction (§2).
+
+The geometry is simple but honest: every text line becomes a positioned
+run, every table cell gets its own bounding box, and page headers/footers
+are stamped on every page, so the partitioner's detector and the
+table-cell/text intersection code operate on realistic inputs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..docmodel.bbox import BoundingBox
+from ..docmodel.raw import PAGE_HEIGHT, PAGE_WIDTH, RawBox, RawDocument, RawPage, RawTextRun
+from ..docmodel.table import Table, TableCell
+
+#: Typography constants (points).
+MARGIN = 54.0
+LINE_HEIGHT = 14.0
+CHAR_WIDTH = 5.4
+TITLE_LINE_HEIGHT = 22.0
+HEADER_ZONE = 36.0
+FOOTER_ZONE = 36.0
+BLOCK_GAP = 12.0
+CELL_PAD = 3.0
+ROW_HEIGHT = 18.0
+
+_BODY_WIDTH = PAGE_WIDTH - 2 * MARGIN
+_CHARS_PER_LINE = int(_BODY_WIDTH / CHAR_WIDTH)
+
+
+def wrap_text(text: str, width_chars: int = _CHARS_PER_LINE) -> List[str]:
+    """Wrap prose into display lines, preserving explicit newlines."""
+    lines: List[str] = []
+    for paragraph in text.split("\n"):
+        if not paragraph.strip():
+            continue
+        lines.extend(textwrap.wrap(paragraph, width=width_chars) or [""])
+    return lines
+
+
+class PageLayouter:
+    """Flows content blocks down the page, breaking to new pages as needed."""
+
+    def __init__(self, header_text: str = "", footer_prefix: str = "Page"):
+        self.header_text = header_text
+        self.footer_prefix = footer_prefix
+        self.pages: List[RawPage] = []
+        self._y = 0.0
+        self._new_page()
+
+    # ------------------------------------------------------------------
+    # Page management
+    # ------------------------------------------------------------------
+
+    def _new_page(self) -> None:
+        page = RawPage()
+        self.pages.append(page)
+        number = len(self.pages)
+        if self.header_text:
+            page.boxes.append(
+                _text_box(
+                    "Page-header",
+                    [self.header_text],
+                    x=MARGIN,
+                    y=HEADER_ZONE - LINE_HEIGHT,
+                    line_height=LINE_HEIGHT,
+                )
+            )
+        page.boxes.append(
+            _text_box(
+                "Page-footer",
+                [f"{self.footer_prefix} {number}"],
+                x=PAGE_WIDTH - MARGIN - 60.0,
+                y=PAGE_HEIGHT - FOOTER_ZONE + LINE_HEIGHT,
+                line_height=LINE_HEIGHT,
+            )
+        )
+        self._y = HEADER_ZONE + BLOCK_GAP
+
+    @property
+    def _page(self) -> RawPage:
+        return self.pages[-1]
+
+    def _remaining(self) -> float:
+        return PAGE_HEIGHT - FOOTER_ZONE - self._y
+
+    def _ensure_space(self, needed: float) -> None:
+        if self._remaining() < needed:
+            self._new_page()
+
+    def _advance(self, height: float) -> None:
+        self._y += height + BLOCK_GAP
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    def add_text_block(self, label: str, text: str, scanned: bool = False) -> None:
+        """A flowed text region; long blocks continue on following pages."""
+        lines = wrap_text(text)
+        line_height = TITLE_LINE_HEIGHT if label == "Title" else LINE_HEIGHT
+        while lines:
+            self._ensure_space(line_height)
+            fit = max(1, int(self._remaining() // line_height))
+            chunk, lines = lines[:fit], lines[fit:]
+            box = _text_box(label, chunk, x=MARGIN, y=self._y, line_height=line_height,
+                            scanned=scanned)
+            self._page.boxes.append(box)
+            self._advance(box.bbox.height)
+
+    def add_title(self, text: str) -> None:
+        """A title block."""
+        self.add_text_block("Title", text)
+
+    def add_section_header(self, text: str) -> None:
+        """A section-header block."""
+        self.add_text_block("Section-header", text)
+
+    def add_paragraphs(self, paragraphs: Sequence[str], scanned: bool = False) -> None:
+        """One text block per paragraph."""
+        for paragraph in paragraphs:
+            self.add_text_block("Text", paragraph, scanned=scanned)
+
+    def add_list(self, items: Sequence[str]) -> None:
+        """One list-item block per item."""
+        for item in items:
+            self.add_text_block("List-item", f"- {item}")
+
+    def add_label_lines(self, pairs: Sequence[Tuple[str, str]]) -> None:
+        """A metadata block of 'Label: value' lines."""
+        text = "\n".join(f"{label}: {value}" for label, value in pairs)
+        self.add_text_block("Text", text)
+
+    def add_image(
+        self,
+        description: str,
+        width_px: int = 640,
+        height_px: int = 480,
+        caption: Optional[str] = None,
+        contains_text: Optional[str] = None,
+    ) -> None:
+        """A picture region (with optional caption and rasterised text)."""
+        display_height = 140.0
+        self._ensure_space(display_height + (LINE_HEIGHT if caption else 0.0))
+        bbox = BoundingBox(MARGIN, self._y, MARGIN + 260.0, self._y + display_height)
+        runs = []
+        if contains_text:
+            # Rasterised text inside the image: reachable only via OCR.
+            runs = [
+                RawTextRun(text=line, bbox=bbox)
+                for line in wrap_text(contains_text, width_chars=40)
+            ]
+        self._page.boxes.append(
+            RawBox(
+                label="Picture",
+                bbox=bbox,
+                runs=runs,
+                scanned=bool(contains_text),
+                image_format="png",
+                image_width_px=width_px,
+                image_height_px=height_px,
+                image_description=description,
+            )
+        )
+        self._advance(display_height)
+        if caption:
+            self.add_text_block("Caption", caption)
+
+    def add_table(self, rows: Sequence[Sequence[str]], caption: Optional[str] = None,
+                  header: bool = True) -> None:
+        """A table region; splits across pages when it does not fit.
+
+        Each fragment is its own Table ground truth; the continuation
+        fragment has ``continues_previous=True`` and no header row — the
+        cross-page case the partitioner must repair.
+        """
+        if caption:
+            self.add_text_block("Caption", caption)
+        remaining_rows = [list(map(str, row)) for row in rows]
+        first_fragment = True
+        while remaining_rows:
+            self._ensure_space(ROW_HEIGHT * 2)
+            fit = max(1, int(self._remaining() // ROW_HEIGHT))
+            # Orphan control, as real typesetting does: never leave a
+            # stub of fewer than 4 rows at the bottom of a page when the
+            # table could start cleanly on the next one.
+            if (
+                first_fragment
+                and fit < min(4, len(remaining_rows))
+            ):
+                self._new_page()
+                fit = max(1, int(self._remaining() // ROW_HEIGHT))
+            chunk, remaining_rows = remaining_rows[:fit], remaining_rows[fit:]
+            self._emit_table_fragment(
+                chunk,
+                header=header and first_fragment,
+                continues=not first_fragment,
+            )
+            first_fragment = False
+
+    def _emit_table_fragment(
+        self, rows: List[List[str]], header: bool, continues: bool
+    ) -> None:
+        n_cols = max(len(row) for row in rows)
+        col_width = _BODY_WIDTH / n_cols
+        cells: List[TableCell] = []
+        runs: List[RawTextRun] = []
+        top = self._y
+        for r, row in enumerate(rows):
+            for c in range(n_cols):
+                text = row[c] if c < len(row) else ""
+                cell_bbox = BoundingBox(
+                    MARGIN + c * col_width,
+                    top + r * ROW_HEIGHT,
+                    MARGIN + (c + 1) * col_width,
+                    top + (r + 1) * ROW_HEIGHT,
+                )
+                cells.append(
+                    TableCell(
+                        row=r,
+                        col=c,
+                        text=text,
+                        is_header=header and r == 0,
+                        bbox=cell_bbox,
+                    )
+                )
+                if text:
+                    run_bbox = BoundingBox(
+                        cell_bbox.x1 + CELL_PAD,
+                        cell_bbox.y1 + CELL_PAD,
+                        min(cell_bbox.x2 - CELL_PAD, cell_bbox.x1 + CELL_PAD + len(text) * CHAR_WIDTH),
+                        cell_bbox.y2 - CELL_PAD,
+                    )
+                    runs.append(RawTextRun(text=text, bbox=run_bbox))
+        table = Table(cells=cells)
+        table.validate()
+        height = len(rows) * ROW_HEIGHT
+        bbox = BoundingBox(MARGIN, top, MARGIN + _BODY_WIDTH, top + height)
+        self._page.boxes.append(
+            RawBox(
+                label="Table",
+                bbox=bbox,
+                runs=runs,
+                table=table,
+                continues_previous=continues,
+            )
+        )
+        self._advance(height)
+
+    def add_footnote(self, text: str) -> None:
+        """A footnote block."""
+        self.add_text_block("Footnote", text)
+
+    def add_formula(self, text: str) -> None:
+        """A formula block."""
+        self.add_text_block("Formula", text)
+
+    # ------------------------------------------------------------------
+
+    def build(self, doc_id: str, ground_truth: Optional[dict] = None) -> RawDocument:
+        """Finalise and return the assembled raw document."""
+        return RawDocument(
+            doc_id=doc_id,
+            pages=self.pages,
+            ground_truth=dict(ground_truth or {}),
+        )
+
+
+def _text_box(
+    label: str,
+    lines: List[str],
+    x: float,
+    y: float,
+    line_height: float,
+    scanned: bool = False,
+) -> RawBox:
+    runs = []
+    max_width = 1.0
+    for i, line in enumerate(lines):
+        width = max(len(line) * CHAR_WIDTH, 1.0)
+        max_width = max(max_width, width)
+        runs.append(
+            RawTextRun(
+                text=line,
+                bbox=BoundingBox(x, y + i * line_height, x + width, y + (i + 1) * line_height),
+            )
+        )
+    bbox = BoundingBox(x, y, x + max_width, y + max(len(lines), 1) * line_height)
+    return RawBox(label=label, bbox=bbox, runs=runs, scanned=scanned)

@@ -1,0 +1,47 @@
+"""Hierarchical, multi-modal document data model (paper §5.1).
+
+Public surface:
+
+* :class:`BoundingBox` — page geometry.
+* :class:`Element` / :class:`TableElement` / :class:`ImageElement` — typed
+  leaf chunks; :data:`ELEMENT_TYPES` is the layout label vocabulary.
+* :class:`Table` / :class:`TableCell` — recovered table structure.
+* :class:`Node` / :class:`Document` — the semantic tree DocSets hold.
+* :class:`RawDocument` et al. — the PDF stand-in consumed by the partitioner.
+"""
+
+from .bbox import BoundingBox, reading_order, union_all
+from .document import Document, Node
+from .elements import (
+    ELEMENT_TYPES,
+    Element,
+    ImageElement,
+    TableElement,
+    make_element,
+    new_id,
+)
+from .raw import PAGE_HEIGHT, PAGE_WIDTH, RawBox, RawDocument, RawPage, RawTextRun
+from .table import Table, TableCell, merge_tables
+
+__all__ = [
+    "BoundingBox",
+    "Document",
+    "ELEMENT_TYPES",
+    "Element",
+    "ImageElement",
+    "Node",
+    "PAGE_HEIGHT",
+    "PAGE_WIDTH",
+    "RawBox",
+    "RawDocument",
+    "RawPage",
+    "RawTextRun",
+    "Table",
+    "TableCell",
+    "TableElement",
+    "make_element",
+    "merge_tables",
+    "new_id",
+    "reading_order",
+    "union_all",
+]

@@ -1,0 +1,216 @@
+"""The raw document format — this repository's stand-in for PDF.
+
+Real Aryn ingests PDFs: opaque binaries that render to pages of positioned
+text, tables and images. Offline we substitute :class:`RawDocument`, a
+page-and-box format with the same observable surface:
+
+* a page is a canvas of *layout regions* (:class:`RawBox`) with a geometry
+  and a visual appearance — exactly what a vision segmentation model sees;
+* text lives in positioned *runs* (:class:`RawTextRun`) inside regions —
+  exactly what PDFMiner-style text extraction sees;
+* scanned regions carry no extractable runs, only rasterised text that must
+  go through (simulated) OCR;
+* every region keeps its *ground-truth* label so detection benchmarks can
+  compute real mAP/mAR against it.
+
+The partitioner must treat the ground-truth labels as hidden: its simulated
+detector observes geometry and visual features and predicts labels through
+a calibrated noise model (see :mod:`repro.partitioner.segmentation`).
+
+A :class:`RawDocument` serialises to bytes, so a freshly-read Sycamore
+document is — as in the paper — a single node whose content is the raw
+binary, later expanded into a semantic tree by the partition transform.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .bbox import BoundingBox
+from .table import Table
+
+#: Default page geometry (US-Letter points, like a typical PDF).
+PAGE_WIDTH = 612.0
+PAGE_HEIGHT = 792.0
+
+
+@dataclass
+class RawTextRun:
+    """A positioned run of text on a page (one line or one table cell)."""
+
+    text: str
+    bbox: BoundingBox
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        return {"text": self.text, "bbox": self.bbox.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RawTextRun":
+        """Rebuild from a dictionary produced by ``to_dict``."""
+        return cls(text=data["text"], bbox=BoundingBox.from_dict(data["bbox"]))
+
+
+@dataclass
+class RawBox:
+    """One layout region on a page.
+
+    ``label`` is the ground-truth layout category (one of
+    :data:`repro.docmodel.elements.ELEMENT_TYPES`). ``runs`` hold the
+    machine-readable text; for ``scanned=True`` regions the runs represent
+    rasterised text reachable only via OCR. Table regions carry the
+    ground-truth cell structure in ``table``; picture regions carry image
+    metadata and a latent ``image_description`` that a multi-modal model
+    could recover.
+    """
+
+    label: str
+    bbox: BoundingBox
+    runs: List[RawTextRun] = field(default_factory=list)
+    scanned: bool = False
+    table: Optional[Table] = None
+    image_format: Optional[str] = None
+    image_width_px: int = 0
+    image_height_px: int = 0
+    image_description: Optional[str] = None
+    #: True for table fragments continued from the previous page (the
+    #: cross-page split case); the heading row lives only on the first part.
+    continues_previous: bool = False
+
+    def text(self) -> str:
+        """All machine-readable text in the region, in run order."""
+        return "\n".join(run.text for run in self.runs)
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        data: Dict[str, Any] = {
+            "label": self.label,
+            "bbox": self.bbox.to_dict(),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+        if self.scanned:
+            data["scanned"] = True
+        if self.table is not None:
+            data["table"] = self.table.to_dict()
+        if self.image_format is not None:
+            data["image_format"] = self.image_format
+            data["image_width_px"] = self.image_width_px
+            data["image_height_px"] = self.image_height_px
+        if self.image_description is not None:
+            data["image_description"] = self.image_description
+        if self.continues_previous:
+            data["continues_previous"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RawBox":
+        """Rebuild from a dictionary produced by ``to_dict``."""
+        return cls(
+            label=data["label"],
+            bbox=BoundingBox.from_dict(data["bbox"]),
+            runs=[RawTextRun.from_dict(r) for r in data.get("runs", [])],
+            scanned=data.get("scanned", False),
+            table=Table.from_dict(data["table"]) if "table" in data else None,
+            image_format=data.get("image_format"),
+            image_width_px=data.get("image_width_px", 0),
+            image_height_px=data.get("image_height_px", 0),
+            image_description=data.get("image_description"),
+            continues_previous=data.get("continues_previous", False),
+        )
+
+
+@dataclass
+class RawPage:
+    """A page: a fixed canvas holding layout regions."""
+
+    boxes: List[RawBox] = field(default_factory=list)
+    width: float = PAGE_WIDTH
+    height: float = PAGE_HEIGHT
+
+    def text_runs(self) -> List[RawTextRun]:
+        """Every machine-readable run on the page (what PDFMiner would yield).
+
+        Scanned regions contribute nothing here; their text is only
+        reachable through OCR.
+        """
+        runs: List[RawTextRun] = []
+        for box in self.boxes:
+            if not box.scanned:
+                runs.extend(box.runs)
+        return runs
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "width": self.width,
+            "height": self.height,
+            "boxes": [box.to_dict() for box in self.boxes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RawPage":
+        """Rebuild from a dictionary produced by ``to_dict``."""
+        return cls(
+            width=data.get("width", PAGE_WIDTH),
+            height=data.get("height", PAGE_HEIGHT),
+            boxes=[RawBox.from_dict(b) for b in data.get("boxes", [])],
+        )
+
+
+@dataclass
+class RawDocument:
+    """A multi-page raw document plus out-of-band ground truth.
+
+    ``ground_truth`` holds the structured record the document was rendered
+    from (datagen writes it; only evaluation code may read it). The
+    partitioner and all query paths must work exclusively from pages.
+    """
+
+    doc_id: str
+    pages: List[RawPage] = field(default_factory=list)
+    source_path: Optional[str] = None
+    ground_truth: Dict[str, Any] = field(default_factory=dict)
+
+    def num_pages(self) -> int:
+        """Number of pages (0-based page indexes + 1)."""
+        return len(self.pages)
+
+    def all_text(self) -> str:
+        """Naive whole-document text extraction (the RAG-baseline view)."""
+        parts = []
+        for page in self.pages:
+            for run in page.text_runs():
+                parts.append(run.text)
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        data: Dict[str, Any] = {
+            "doc_id": self.doc_id,
+            "pages": [page.to_dict() for page in self.pages],
+            "ground_truth": self.ground_truth,
+        }
+        if self.source_path is not None:
+            data["source_path"] = self.source_path
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RawDocument":
+        """Rebuild from a dictionary produced by ``to_dict``."""
+        return cls(
+            doc_id=data["doc_id"],
+            pages=[RawPage.from_dict(p) for p in data.get("pages", [])],
+            source_path=data.get("source_path"),
+            ground_truth=dict(data.get("ground_truth", {})),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the opaque binary a just-read Document carries."""
+        return json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "RawDocument":
+        """Rebuild from bytes produced by ``to_bytes``."""
+        return cls.from_dict(json.loads(payload.decode("utf-8")))

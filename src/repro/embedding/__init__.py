@@ -1,0 +1,12 @@
+"""Embedding substrate: deterministic text embeddings for vector search.
+
+Substitutes for hosted embedding models (see DESIGN.md §1). The
+:class:`HashingEmbedder` reproduces the qualitative property the paper's
+§2 argument rests on: embeddings separate topically-distinct texts well
+on small corpora, but discriminability erodes as corpora grow and near-
+duplicate documents crowd the space (bench C3).
+"""
+
+from .embedder import Embedder, HashingEmbedder, cosine_similarity, tokenize
+
+__all__ = ["Embedder", "HashingEmbedder", "cosine_similarity", "tokenize"]

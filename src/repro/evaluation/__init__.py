@@ -1,0 +1,47 @@
+"""Evaluation machinery: detection metrics, answer grading, suite harnesses."""
+
+from .detection import (
+    DetectionMetrics,
+    GroundTruthBox,
+    IOU_THRESHOLDS,
+    PredictedBox,
+    boxes_from_pages,
+    evaluate_detections,
+)
+from .grading import (
+    Grade,
+    GradeResult,
+    grade_categorical,
+    grade_exact_count,
+    grade_list,
+    grade_numeric,
+    grade_summary,
+)
+from .harness import (
+    QuestionOutcome,
+    SuiteReport,
+    grade_answer,
+    run_luna_suite,
+    run_rag_suite,
+)
+
+__all__ = [
+    "DetectionMetrics",
+    "Grade",
+    "GradeResult",
+    "GroundTruthBox",
+    "IOU_THRESHOLDS",
+    "PredictedBox",
+    "QuestionOutcome",
+    "SuiteReport",
+    "boxes_from_pages",
+    "evaluate_detections",
+    "grade_answer",
+    "grade_categorical",
+    "grade_exact_count",
+    "grade_list",
+    "grade_numeric",
+    "grade_summary",
+    "run_luna_suite",
+    "run_rag_suite",
+]

@@ -1,0 +1,173 @@
+"""COCO-style object-detection evaluation (mAP / mAR).
+
+The paper reports the Aryn Partitioner's layout model at mAP 0.602 /
+mAR 0.743 on the DocLayNet benchmark versus 0.344 / 0.466 for a cloud
+vendor API (§4). This module implements the genuine evaluation protocol:
+average precision with 101-point interpolation, averaged over the IoU
+thresholds 0.50:0.05:0.95 and over categories, plus mean average recall
+at up to 100 detections per image. Only the detector under evaluation is
+simulated; the metric machinery is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..docmodel.bbox import BoundingBox
+
+IOU_THRESHOLDS = tuple(round(0.5 + 0.05 * i, 2) for i in range(10))
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    """One annotated ground-truth region."""
+    image_id: str
+    label: str
+    bbox: BoundingBox
+
+
+@dataclass(frozen=True)
+class PredictedBox:
+    """One scored predicted region."""
+    image_id: str
+    label: str
+    bbox: BoundingBox
+    score: float
+
+
+@dataclass
+class DetectionMetrics:
+    """Evaluation result: overall means plus per-category APs."""
+
+    mean_ap: float
+    mean_ar: float
+    ap_per_category: Dict[str, float]
+    ar_per_category: Dict[str, float]
+
+    def render(self) -> str:
+        """Render a human-readable text view."""
+        lines = [f"mAP@[.5:.95] = {self.mean_ap:.3f}   mAR@100 = {self.mean_ar:.3f}"]
+        for label in sorted(self.ap_per_category):
+            lines.append(
+                f"  {label:<16} AP={self.ap_per_category[label]:.3f} "
+                f"AR={self.ar_per_category[label]:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_detections(
+    ground_truth: Sequence[GroundTruthBox],
+    predictions: Sequence[PredictedBox],
+    max_detections: int = 100,
+    iou_thresholds: Sequence[float] = IOU_THRESHOLDS,
+) -> DetectionMetrics:
+    """Compute mAP@[.5:.95] and mAR over all categories present in GT."""
+    categories = sorted({gt.label for gt in ground_truth})
+    ap_per_category: Dict[str, float] = {}
+    ar_per_category: Dict[str, float] = {}
+    for label in categories:
+        gts = [g for g in ground_truth if g.label == label]
+        preds = [p for p in predictions if p.label == label]
+        aps = []
+        recalls = []
+        for threshold in iou_thresholds:
+            ap, recall = _ap_single(gts, preds, threshold, max_detections)
+            aps.append(ap)
+            recalls.append(recall)
+        ap_per_category[label] = float(np.mean(aps))
+        ar_per_category[label] = float(np.mean(recalls))
+    if not categories:
+        return DetectionMetrics(0.0, 0.0, {}, {})
+    return DetectionMetrics(
+        mean_ap=float(np.mean(list(ap_per_category.values()))),
+        mean_ar=float(np.mean(list(ar_per_category.values()))),
+        ap_per_category=ap_per_category,
+        ar_per_category=ar_per_category,
+    )
+
+
+def _ap_single(
+    gts: List[GroundTruthBox],
+    preds: List[PredictedBox],
+    iou_threshold: float,
+    max_detections: int,
+) -> Tuple[float, float]:
+    """(AP, recall) for one category at one IoU threshold."""
+    if not gts:
+        return 0.0, 0.0
+    # Cap detections per image (COCO's maxDets), then sort globally.
+    by_image: Dict[str, List[PredictedBox]] = {}
+    for pred in preds:
+        by_image.setdefault(pred.image_id, []).append(pred)
+    capped: List[PredictedBox] = []
+    for image_preds in by_image.values():
+        image_preds.sort(key=lambda p: -p.score)
+        capped.extend(image_preds[:max_detections])
+    capped.sort(key=lambda p: -p.score)
+
+    gt_by_image: Dict[str, List[GroundTruthBox]] = {}
+    for gt in gts:
+        gt_by_image.setdefault(gt.image_id, []).append(gt)
+    matched: Dict[str, List[bool]] = {
+        image_id: [False] * len(boxes) for image_id, boxes in gt_by_image.items()
+    }
+
+    tp = np.zeros(len(capped))
+    fp = np.zeros(len(capped))
+    for i, pred in enumerate(capped):
+        candidates = gt_by_image.get(pred.image_id, [])
+        best_iou = 0.0
+        best_j = -1
+        for j, gt in enumerate(candidates):
+            if matched[pred.image_id][j]:
+                continue
+            iou = pred.bbox.iou(gt.bbox)
+            if iou > best_iou:
+                best_iou = iou
+                best_j = j
+        if best_j >= 0 and best_iou >= iou_threshold:
+            matched[pred.image_id][best_j] = True
+            tp[i] = 1.0
+        else:
+            fp[i] = 1.0
+
+    if len(capped) == 0:
+        return 0.0, 0.0
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recalls = cum_tp / len(gts)
+    precisions = cum_tp / np.maximum(cum_tp + cum_fp, 1e-12)
+    ap = _interpolated_ap(recalls, precisions)
+    final_recall = float(recalls[-1])
+    return ap, final_recall
+
+
+def _interpolated_ap(recalls: np.ndarray, precisions: np.ndarray) -> float:
+    """COCO 101-point interpolated average precision."""
+    # Precision envelope: make precision monotonically non-increasing.
+    envelope = np.maximum.accumulate(precisions[::-1])[::-1]
+    sample_points = np.linspace(0.0, 1.0, 101)
+    sampled = np.zeros_like(sample_points)
+    for i, point in enumerate(sample_points):
+        mask = recalls >= point
+        if mask.any():
+            sampled[i] = envelope[mask].max()
+    return float(sampled.mean())
+
+
+def boxes_from_pages(pages, doc_id: str) -> List[GroundTruthBox]:
+    """Ground-truth boxes of a raw document's pages, keyed per page."""
+    boxes = []
+    for page_number, page in enumerate(pages):
+        for box in page.boxes:
+            boxes.append(
+                GroundTruthBox(
+                    image_id=f"{doc_id}:{page_number}",
+                    label=box.label,
+                    bbox=box.bbox,
+                )
+            )
+    return boxes

@@ -1,0 +1,155 @@
+"""Answer grading for the Luna micro-benchmark (E2).
+
+The paper grades Luna's 18 answers into *correct*, *plausible*, and
+*incorrect* (13/3/2, "72% accuracy"). We reproduce that three-way rubric
+with typed graders: numeric answers allow a tight tolerance for correct
+and a loose one for plausible; categorical answers must match exactly
+(plausible when the expected value appears among returned alternatives);
+list answers grade by overlap; summaries grade by coverage of expected
+key items.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+
+class Grade(enum.Enum):
+    """The paper's three-way grading rubric."""
+    CORRECT = "correct"
+    PLAUSIBLE = "plausible"
+    INCORRECT = "incorrect"
+
+
+@dataclass(frozen=True)
+class GradeResult:
+    """A grade plus a short explanatory note."""
+    grade: Grade
+    note: str = ""
+
+
+def _extract_number(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(int(value))
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        match = re.search(r"-?\d+(?:\.\d+)?", value.replace(",", ""))
+        if match:
+            return float(match.group())
+    if isinstance(value, (list, tuple)) and len(value) == 1:
+        return _extract_number(value[0])
+    return None
+
+
+def grade_numeric(
+    answer: Any,
+    expected: float,
+    correct_rel_tol: float = 0.02,
+    plausible_rel_tol: float = 0.20,
+    correct_abs_tol: float = 0.5,
+) -> GradeResult:
+    """Numeric grading with relative (or small absolute) tolerance."""
+    value = _extract_number(answer)
+    if value is None:
+        return GradeResult(Grade.INCORRECT, f"no number in {answer!r}")
+    error = abs(value - expected)
+    scale = max(abs(expected), 1e-9)
+    if error <= correct_abs_tol or error / scale <= correct_rel_tol:
+        return GradeResult(Grade.CORRECT, f"{value} vs {expected}")
+    if error / scale <= plausible_rel_tol:
+        return GradeResult(Grade.PLAUSIBLE, f"{value} vs {expected}")
+    return GradeResult(Grade.INCORRECT, f"{value} vs {expected}")
+
+
+def grade_exact_count(answer: Any, expected: int, plausible_slack: int = 2) -> GradeResult:
+    """Counting questions: exact for correct, off-by-slack for plausible."""
+    value = _extract_number(answer)
+    if value is None:
+        return GradeResult(Grade.INCORRECT, f"no number in {answer!r}")
+    if int(round(value)) == expected:
+        return GradeResult(Grade.CORRECT, f"{int(value)} vs {expected}")
+    if abs(int(round(value)) - expected) <= plausible_slack:
+        return GradeResult(Grade.PLAUSIBLE, f"{int(value)} vs {expected}")
+    return GradeResult(Grade.INCORRECT, f"{int(value)} vs {expected}")
+
+
+def _flatten_categorical(answer: Any) -> List[str]:
+    if isinstance(answer, str):
+        return [answer]
+    if isinstance(answer, (list, tuple)):
+        values = []
+        for item in answer:
+            if isinstance(item, (list, tuple)) and item:
+                values.append(str(item[0]))
+            else:
+                values.append(str(item))
+        return values
+    if isinstance(answer, dict):
+        return [str(k) for k in answer]
+    return [str(answer)]
+
+
+def grade_categorical(answer: Any, expected: "str | Sequence[str]") -> GradeResult:
+    """One expected value (or any of several acceptable values).
+
+    Correct when the first returned value matches; plausible when a match
+    appears among later alternatives (e.g. a TopK that ranked the right
+    value second).
+    """
+    acceptable = [expected] if isinstance(expected, str) else list(expected)
+    acceptable_norm = {str(v).strip().lower() for v in acceptable}
+    values = [v.strip().lower() for v in _flatten_categorical(answer)]
+    if not values:
+        return GradeResult(Grade.INCORRECT, "empty answer")
+    if values[0] in acceptable_norm:
+        return GradeResult(Grade.CORRECT, f"{values[0]!r}")
+    if any(v in acceptable_norm for v in values[1:]):
+        return GradeResult(Grade.PLAUSIBLE, f"expected among alternatives: {values!r}")
+    # A textual answer may embed the expected token.
+    if any(a in values[0] for a in acceptable_norm):
+        return GradeResult(Grade.CORRECT, f"{values[0]!r} contains expected")
+    return GradeResult(Grade.INCORRECT, f"{values!r} vs {acceptable!r}")
+
+
+def grade_list(
+    answer: Any,
+    expected: Sequence[str],
+    correct_jaccard: float = 0.8,
+    plausible_jaccard: float = 0.4,
+) -> GradeResult:
+    """Set-valued answers graded by Jaccard overlap."""
+    got = {v.strip().lower() for v in _flatten_categorical(answer) if v and v != "None"}
+    want = {str(v).strip().lower() for v in expected}
+    if not want:
+        return GradeResult(Grade.CORRECT if not got else Grade.PLAUSIBLE, "empty expectation")
+    if not got:
+        return GradeResult(Grade.INCORRECT, "empty answer")
+    jaccard = len(got & want) / len(got | want)
+    if jaccard >= correct_jaccard:
+        return GradeResult(Grade.CORRECT, f"jaccard={jaccard:.2f}")
+    if jaccard >= plausible_jaccard:
+        return GradeResult(Grade.PLAUSIBLE, f"jaccard={jaccard:.2f}")
+    return GradeResult(Grade.INCORRECT, f"jaccard={jaccard:.2f}")
+
+
+def grade_summary(
+    answer: Any,
+    expected_mentions: Sequence[str],
+    correct_coverage: float = 0.7,
+    plausible_coverage: float = 0.3,
+) -> GradeResult:
+    """Summaries graded by coverage of expected key phrases."""
+    text = str(answer).lower()
+    if not expected_mentions:
+        return GradeResult(Grade.CORRECT, "nothing required")
+    hits = sum(1 for phrase in expected_mentions if str(phrase).lower() in text)
+    coverage = hits / len(expected_mentions)
+    if coverage >= correct_coverage:
+        return GradeResult(Grade.CORRECT, f"coverage={coverage:.2f}")
+    if coverage >= plausible_coverage:
+        return GradeResult(Grade.PLAUSIBLE, f"coverage={coverage:.2f}")
+    return GradeResult(Grade.INCORRECT, f"coverage={coverage:.2f}")

@@ -1,0 +1,204 @@
+"""Question-suite harnesses: run Luna or RAG over a benchmark suite and
+grade the answers into correct / plausible / incorrect (the paper's
+three-way rubric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..datagen.questions import BenchmarkQuestion
+from ..luna.luna import Luna
+from ..rag.pipeline import RagPipeline
+from .grading import (
+    Grade,
+    GradeResult,
+    grade_categorical,
+    grade_exact_count,
+    grade_list,
+    grade_numeric,
+    grade_summary,
+)
+
+
+@dataclass
+class QuestionOutcome:
+    """One graded question: answer, expectation, grade, and cost."""
+    qid: str
+    question: str
+    kind: str
+    expected: Any
+    answer: Any
+    grade: Grade
+    note: str = ""
+    llm_calls: int = 0
+    llm_cost_usd: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class SuiteReport:
+    """Aggregated outcomes over a question suite."""
+
+    system: str
+    outcomes: List[QuestionOutcome] = field(default_factory=list)
+
+    def count(self, grade: Grade) -> int:
+        """Number of matching records."""
+        return sum(1 for o in self.outcomes if o.grade is grade)
+
+    @property
+    def correct(self) -> int:
+        """Count of outcomes graded correct."""
+        return self.count(Grade.CORRECT)
+
+    @property
+    def plausible(self) -> int:
+        """Count of outcomes graded plausible."""
+        return self.count(Grade.PLAUSIBLE)
+
+    @property
+    def incorrect(self) -> int:
+        """Count of outcomes graded incorrect."""
+        return self.count(Grade.INCORRECT)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction graded correct (the paper's headline 72% metric)."""
+        if not self.outcomes:
+            return 0.0
+        return self.correct / len(self.outcomes)
+
+    def render(self) -> str:
+        """Render a human-readable text view."""
+        lines = [
+            f"=== {self.system}: {self.correct} correct, "
+            f"{self.plausible} plausible, {self.incorrect} incorrect "
+            f"of {len(self.outcomes)} ({self.accuracy:.0%} accuracy) ==="
+        ]
+        for outcome in self.outcomes:
+            answer_text = repr(outcome.answer)
+            if len(answer_text) > 60:
+                answer_text = answer_text[:57] + "..."
+            lines.append(
+                f"[{outcome.grade.value:<10}] {outcome.qid}: {outcome.question}"
+            )
+            lines.append(
+                f"             answer={answer_text} expected={outcome.expected!r} "
+                f"({outcome.note})"
+            )
+        return "\n".join(lines)
+
+
+def grade_answer(question: BenchmarkQuestion, answer: Any) -> GradeResult:
+    """Dispatch to the right grader for the question's answer kind."""
+    kind = question.kind
+    kwargs = dict(question.grade_kwargs)
+    if kind == "count":
+        return grade_exact_count(answer, int(question.expected), **kwargs)
+    if kind in ("percentage", "numeric"):
+        return grade_numeric(answer, float(question.expected), **kwargs)
+    if kind == "categorical":
+        return grade_categorical(answer, question.expected)
+    if kind == "list":
+        return grade_list(answer, question.expected, **kwargs)
+    if kind == "summary":
+        return grade_summary(answer, question.expected, **kwargs)
+    raise ValueError(f"unknown question kind {kind!r}")
+
+
+def run_luna_suite(
+    luna: Luna,
+    questions: List[BenchmarkQuestion],
+    system_name: str = "luna",
+) -> SuiteReport:
+    """Run every question through Luna and grade the answers.
+
+    Failures (planning or execution errors) grade as incorrect — a system
+    that cannot answer has not answered.
+    """
+    report = SuiteReport(system=system_name)
+    for question in questions:
+        try:
+            result = luna.query(question.question, index=question.index)
+            graded = grade_answer(question, result.answer)
+            report.outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    question=question.question,
+                    kind=question.kind,
+                    expected=question.expected,
+                    answer=result.answer,
+                    grade=graded.grade,
+                    note=graded.note,
+                    llm_calls=result.trace.total_llm_calls(),
+                    llm_cost_usd=result.trace.total_cost_usd(),
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - benchmark must survive failures
+            report.outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    question=question.question,
+                    kind=question.kind,
+                    expected=question.expected,
+                    answer=None,
+                    grade=Grade.INCORRECT,
+                    note="execution failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return report
+
+
+def run_rag_suite(
+    rag: Dict[str, RagPipeline],
+    questions: List[BenchmarkQuestion],
+    system_name: str = "rag",
+) -> SuiteReport:
+    """Run the suite through RAG pipelines keyed by index name."""
+    report = SuiteReport(system=system_name)
+    for question in questions:
+        pipeline = rag.get(question.index)
+        if pipeline is None:
+            report.outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    question=question.question,
+                    kind=question.kind,
+                    expected=question.expected,
+                    answer=None,
+                    grade=Grade.INCORRECT,
+                    note=f"no pipeline for index {question.index!r}",
+                )
+            )
+            continue
+        try:
+            answer = pipeline.answer(question.question)
+            graded = grade_answer(question, answer.answer)
+            report.outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    question=question.question,
+                    kind=question.kind,
+                    expected=question.expected,
+                    answer=answer.answer,
+                    grade=graded.grade,
+                    note=graded.note,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            report.outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    question=question.question,
+                    kind=question.kind,
+                    expected=question.expected,
+                    answer=None,
+                    grade=Grade.INCORRECT,
+                    note="execution failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return report

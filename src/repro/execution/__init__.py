@@ -1,0 +1,21 @@
+"""Execution substrate: lazy plans, pipelined/parallel executor, caches,
+lineage. The repository's Ray stand-in (see DESIGN.md §1).
+"""
+
+from .executor import ExecutionStats, Executor, NodeStats, TaskError
+from .lineage import Lineage, LineageEdge
+from .materialize import DiskCache, MemoryCache
+from .plan import Plan, PlanNode
+
+__all__ = [
+    "DiskCache",
+    "ExecutionStats",
+    "Executor",
+    "Lineage",
+    "LineageEdge",
+    "MemoryCache",
+    "NodeStats",
+    "Plan",
+    "PlanNode",
+    "TaskError",
+]

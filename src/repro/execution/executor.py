@@ -1,0 +1,275 @@
+"""Plan execution: pipelined, optionally parallel, with task retries.
+
+This is the repository's Ray substitute (DESIGN.md §1): the semantics the
+paper relies on — lazy pipelined execution, scale-out across workers for
+per-record transforms, automatic retry of failed tasks, and execution
+statistics — implemented over a thread pool. Per-record operators stream;
+``aggregate`` nodes drain their input (a barrier), matching Spark/Ray
+stage semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+from .lineage import Lineage
+from .plan import Plan, PlanNode
+
+
+class TaskError(Exception):
+    """A task failed after exhausting its retries."""
+
+    def __init__(self, node_name: str, record: Any, cause: Exception):
+        super().__init__(f"task in node {node_name!r} failed: {cause}")
+        self.node_name = node_name
+        self.record = record
+        self.cause = cause
+
+
+@dataclass
+class NodeStats:
+    """Per-node execution counters."""
+
+    records_in: int = 0
+    records_out: int = 0
+    retries: int = 0
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class ExecutionStats:
+    """Statistics for one plan execution, keyed by node name."""
+
+    nodes: Dict[str, NodeStats] = field(default_factory=dict)
+
+    def node(self, name: str) -> NodeStats:
+        """Per-node stats record (created on first access)."""
+        return self.nodes.setdefault(name, NodeStats())
+
+    def total_records_out(self, name: str) -> int:
+        """Records emitted by the named node."""
+        return self.nodes.get(name, NodeStats()).records_out
+
+
+class Executor:
+    """Executes plans.
+
+    Parameters
+    ----------
+    parallelism:
+        Worker threads for per-record operators. 1 = fully sequential.
+    max_task_retries:
+        How many times a failing per-record task is retried before the
+        execution is abandoned with :class:`TaskError`.
+    lineage:
+        Optional :class:`Lineage` tracker; when given, map/flat_map over
+        objects with a ``doc_id`` records derivation edges.
+    batch_size:
+        Records pulled per scheduling round in parallel mode; bounds
+        memory while keeping workers busy.
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        max_task_retries: int = 0,
+        lineage: Optional[Lineage] = None,
+        batch_size: int = 32,
+    ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.parallelism = parallelism
+        self.max_task_retries = max_task_retries
+        self.lineage = lineage
+        self.batch_size = batch_size
+        self.last_stats: Optional[ExecutionStats] = None
+
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: Plan) -> Iterator[Any]:
+        """Lazily yield the plan's output records."""
+        stats = ExecutionStats()
+        self.last_stats = stats
+        return self._run_node(plan.node, stats)
+
+    def take_all(self, plan: Plan) -> List[Any]:
+        """Execute and collect every output record."""
+        return list(self.execute(plan))
+
+    def count(self, plan: Plan) -> int:
+        """Number of matching records."""
+        return sum(1 for _ in self.execute(plan))
+
+    # ------------------------------------------------------------------
+
+    def _run_node(self, node: PlanNode, stats: ExecutionStats) -> Iterator[Any]:
+        if node.kind == "source":
+            return self._run_source(node, stats)
+        assert node.parent is not None, f"{node.kind} node without parent"
+        upstream = self._run_node(node.parent, stats)
+        if node.kind == "map":
+            return self._run_per_record(node, upstream, stats, mode="map")
+        if node.kind == "filter":
+            return self._run_per_record(node, upstream, stats, mode="filter")
+        if node.kind == "flat_map":
+            return self._run_per_record(node, upstream, stats, mode="flat_map")
+        if node.kind == "aggregate":
+            return self._run_aggregate(node, upstream, stats)
+        if node.kind == "materialize":
+            return self._run_materialize(node, upstream, stats)
+        raise ValueError(f"unknown plan node kind: {node.kind!r}")
+
+    def _run_source(self, node: PlanNode, stats: ExecutionStats) -> Iterator[Any]:
+        node_stats = stats.node(node.name)
+        start = time.perf_counter()
+        assert node.items_fn is not None
+        for record in node.items_fn():
+            node_stats.records_out += 1
+            yield record
+        node_stats.wall_time_s += time.perf_counter() - start
+
+    def _run_aggregate(
+        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats
+    ) -> Iterator[Any]:
+        node_stats = stats.node(node.name)
+        records = list(upstream)
+        node_stats.records_in += len(records)
+        start = time.perf_counter()
+        assert node.fn is not None
+        for record in node.fn(records):
+            node_stats.records_out += 1
+            yield record
+        node_stats.wall_time_s += time.perf_counter() - start
+
+    def _run_materialize(
+        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats
+    ) -> Iterator[Any]:
+        node_stats = stats.node(node.name)
+        cache = node.cache
+        if cache.is_valid():
+            for record in cache.read():
+                node_stats.records_out += 1
+                yield record
+            return
+        collected = []
+        for record in upstream:
+            node_stats.records_in += 1
+            collected.append(record)
+        cache.write(collected)
+        for record in collected:
+            node_stats.records_out += 1
+            yield record
+
+    # ------------------------------------------------------------------
+    # Per-record operators
+    # ------------------------------------------------------------------
+
+    def _run_per_record(
+        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
+    ) -> Iterator[Any]:
+        if self.parallelism == 1:
+            return self._per_record_serial(node, upstream, stats, mode)
+        return self._per_record_parallel(node, upstream, stats, mode)
+
+    def _per_record_serial(
+        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
+    ) -> Iterator[Any]:
+        node_stats = stats.node(node.name)
+        for record in upstream:
+            node_stats.records_in += 1
+            start = time.perf_counter()
+            result = self._apply_with_retry(node, record, node_stats)
+            node_stats.wall_time_s += time.perf_counter() - start
+            yield from self._emit(node, record, result, mode, node_stats)
+
+    def _per_record_parallel(
+        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
+    ) -> Iterator[Any]:
+        node_stats = stats.node(node.name)
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            pending: "List[Future]" = []
+            results: Dict[int, Any] = {}
+            inputs: Dict[int, Any] = {}
+            next_to_yield = 0
+            submitted = 0
+            upstream_iter = iter(upstream)
+            exhausted = False
+            while not exhausted or next_to_yield < submitted:
+                # Keep a bounded window of in-flight tasks.
+                while not exhausted and len(pending) < self.parallelism * 2:
+                    try:
+                        record = next(upstream_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    node_stats.records_in += 1
+                    index = submitted
+                    submitted += 1
+                    inputs[index] = record
+                    future = pool.submit(self._apply_with_retry, node, record, node_stats)
+                    future.index = index  # type: ignore[attr-defined]
+                    pending.append(future)
+                if pending:
+                    done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+                    pending = list(still_pending)
+                    for future in done:
+                        results[future.index] = future.result()  # type: ignore[attr-defined]
+                # Yield in input order to keep execution deterministic.
+                while next_to_yield in results:
+                    record = inputs.pop(next_to_yield)
+                    result = results.pop(next_to_yield)
+                    next_to_yield += 1
+                    yield from self._emit(node, record, result, mode, node_stats)
+        node_stats.wall_time_s += time.perf_counter() - start
+
+    def _apply_with_retry(self, node: PlanNode, record: Any, node_stats: NodeStats) -> Any:
+        assert node.fn is not None
+        attempts = self.max_task_retries + 1
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                return node.fn(record)
+            except Exception as exc:  # noqa: BLE001 - retry any task failure
+                last_error = exc
+                with _stats_lock:
+                    node_stats.retries += 1
+        assert last_error is not None
+        raise TaskError(node.name, record, last_error)
+
+    def _emit(
+        self, node: PlanNode, record: Any, result: Any, mode: str, node_stats: NodeStats
+    ) -> Iterator[Any]:
+        if mode == "map":
+            node_stats.records_out += 1
+            self._record_lineage(node, record, [result])
+            yield result
+        elif mode == "filter":
+            if result:
+                node_stats.records_out += 1
+                yield record
+        else:  # flat_map
+            outputs = list(result)
+            node_stats.records_out += len(outputs)
+            self._record_lineage(node, record, outputs)
+            yield from outputs
+
+    def _record_lineage(self, node: PlanNode, record: Any, outputs: List[Any]) -> None:
+        if self.lineage is None:
+            return
+        source_id = getattr(record, "doc_id", None)
+        if source_id is None:
+            return
+        for output in outputs:
+            target_id = getattr(output, "doc_id", None)
+            if target_id is not None and target_id != source_id:
+                self.lineage.record(node.name, source_id, target_id)
+
+
+_stats_lock = threading.Lock()

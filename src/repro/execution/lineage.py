@@ -1,0 +1,88 @@
+"""Lineage tracking across transforms.
+
+The paper's explainability tenet: "Aryn should provide a detailed trace
+of how the answer was computed, including the provenance of intermediate
+results." Sycamore transforms record derivation edges here — which
+document produced which — and queries can walk the chain back to original
+sources.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """One derivation: ``source_id`` --(transform)--> ``target_id``."""
+
+    transform: str
+    source_id: str
+    target_id: str
+
+
+class Lineage:
+    """Thread-safe store of derivation edges with ancestry queries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: List[LineageEdge] = []
+        self._parents: Dict[str, List[LineageEdge]] = {}
+        self._children: Dict[str, List[LineageEdge]] = {}
+
+    def record(self, transform: str, source_id: str, target_id: str) -> LineageEdge:
+        """Append one entry."""
+        edge = LineageEdge(transform=transform, source_id=source_id, target_id=target_id)
+        with self._lock:
+            self._edges.append(edge)
+            self._parents.setdefault(target_id, []).append(edge)
+            self._children.setdefault(source_id, []).append(edge)
+        return edge
+
+    def edges(self) -> List[LineageEdge]:
+        """A snapshot list of all recorded edges."""
+        with self._lock:
+            return list(self._edges)
+
+    def parents_of(self, doc_id: str) -> List[str]:
+        """Immediate predecessors of a document."""
+        with self._lock:
+            return [e.source_id for e in self._parents.get(doc_id, [])]
+
+    def children_of(self, doc_id: str) -> List[str]:
+        """Immediate derived documents of a document."""
+        with self._lock:
+            return [e.target_id for e in self._children.get(doc_id, [])]
+
+    def ancestors_of(self, doc_id: str) -> List[str]:
+        """All transitive sources of a document (provenance closure)."""
+        seen: Set[str] = set()
+        frontier = [doc_id]
+        while frontier:
+            current = frontier.pop()
+            for parent in self.parents_of(current):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return sorted(seen)
+
+    def root_sources_of(self, doc_id: str) -> List[str]:
+        """Ancestors with no recorded parents — the original documents."""
+        roots = [a for a in self.ancestors_of(doc_id) if not self.parents_of(a)]
+        if not roots and not self.parents_of(doc_id):
+            return [doc_id]
+        return roots
+
+    def trace(self, doc_id: str) -> List[LineageEdge]:
+        """All edges on paths leading into ``doc_id``, oldest first."""
+        relevant = set(self.ancestors_of(doc_id)) | {doc_id}
+        return [e for e in self.edges() if e.target_id in relevant]
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        with self._lock:
+            self._edges.clear()
+            self._parents.clear()
+            self._children.clear()

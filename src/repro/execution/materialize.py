@@ -1,0 +1,104 @@
+"""Materialization caches for plan execution.
+
+"To assist with debugging and avoid redundant execution, Sycamore also
+supports a flexible *materialize* operation that can save the output of
+intermediate transformations to memory or disk" (§5.3). A cache object is
+attached to a ``materialize`` plan node; the first execution writes
+through it, later executions read from it and skip the upstream pipeline
+entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, List, Optional
+
+from ..docmodel.document import Document
+
+
+class MemoryCache:
+    """Holds materialized records in process memory."""
+
+    def __init__(self) -> None:
+        self._records: Optional[List[Any]] = None
+
+    def is_valid(self) -> bool:
+        """True when cached contents are available."""
+        return self._records is not None
+
+    def write(self, records: List[Any]) -> None:
+        """Store the given records."""
+        self._records = list(records)
+
+    def read(self) -> List[Any]:
+        """Return the cached records."""
+        if self._records is None:
+            raise RuntimeError("reading from an unfilled MemoryCache")
+        return list(self._records)
+
+    def invalidate(self) -> None:
+        """Discard cached contents so the next run recomputes."""
+        self._records = None
+
+
+class DiskCache:
+    """Persists materialized records to a JSONL file.
+
+    ``serialize``/``deserialize`` default to the Document codec; pass
+    ``json.dumps``/``json.loads``-style callables for plain records.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        serialize: Optional[Callable[[Any], str]] = None,
+        deserialize: Optional[Callable[[str], Any]] = None,
+    ):
+        self.path = Path(path)
+        self._serialize = serialize or _default_serialize
+        self._deserialize = deserialize or _default_deserialize
+
+    def is_valid(self) -> bool:
+        """True when cached contents are available."""
+        return self.path.exists()
+
+    def write(self, records: List[Any]) -> None:
+        """Store the given records."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(self._serialize(record))
+                handle.write("\n")
+        tmp.replace(self.path)  # atomic publish: readers never see partial files
+
+    def read(self) -> List[Any]:
+        """Return the cached records."""
+        if not self.path.exists():
+            raise RuntimeError(f"reading from missing cache file {self.path}")
+        records = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(self._deserialize(line))
+        return records
+
+    def invalidate(self) -> None:
+        """Discard cached contents so the next run recomputes."""
+        if self.path.exists():
+            self.path.unlink()
+
+
+def _default_serialize(record: Any) -> str:
+    if isinstance(record, Document):
+        return json.dumps({"__document__": record.to_dict()})
+    return json.dumps({"__value__": record})
+
+
+def _default_deserialize(line: str) -> Any:
+    data = json.loads(line)
+    if "__document__" in data:
+        return Document.from_dict(data["__document__"])
+    return data["__value__"]

@@ -1,0 +1,26 @@
+"""Index substrate: keyword (BM25), vector, graph, and document stores.
+
+These stand in for OpenSearch in the paper's architecture (Figure 1).
+The :class:`IndexCatalog` is the top-level entry point: it hands out
+:class:`NamedIndex` bundles that Sycamore writes and Luna queries.
+"""
+
+from .catalog import IndexCatalog, NamedIndex, infer_schema
+from .docstore import DocStore
+from .graph import GraphStore, Triple
+from .keyword import KeywordIndex, SearchHit
+from .lake import DataLake
+from .vector import VectorIndex
+
+__all__ = [
+    "DocStore",
+    "GraphStore",
+    "DataLake",
+    "IndexCatalog",
+    "KeywordIndex",
+    "NamedIndex",
+    "SearchHit",
+    "Triple",
+    "VectorIndex",
+    "infer_schema",
+]

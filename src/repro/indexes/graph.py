@@ -1,0 +1,180 @@
+"""Property-graph triple store.
+
+The graph store of Figure 1, used for the pay-as-you-go knowledge graph
+the paper discusses (§7): entities extracted from documents become nodes,
+relations become labelled edges, and every triple keeps provenance back
+to the document it came from — the paper's accuracy tenet requires
+hallucination-auditable graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One (subject, predicate, object) fact with provenance."""
+
+    subject: str
+    predicate: str
+    object: str
+    source_doc_id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        data = {"subject": self.subject, "predicate": self.predicate, "object": self.object}
+        if self.source_doc_id is not None:
+            data["source_doc_id"] = self.source_doc_id
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Triple":
+        """Rebuild from a dictionary produced by ``to_dict``."""
+        return cls(
+            subject=data["subject"],
+            predicate=data["predicate"],
+            object=data["object"],
+            source_doc_id=data.get("source_doc_id"),
+        )
+
+
+class GraphStore:
+    """Multi-relational graph over string-named entities.
+
+    Backed by a :class:`networkx.MultiDiGraph`; each edge carries its
+    predicate and the id of the document that asserted it.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.MultiDiGraph()
+
+    # ------------------------------------------------------------------
+
+    def add_triple(
+        self,
+        subject: str,
+        predicate: str,
+        object: str,
+        source_doc_id: Optional[str] = None,
+    ) -> Triple:
+        """Assert one (subject, predicate, object) fact."""
+        triple = Triple(subject, predicate, object, source_doc_id)
+        self._graph.add_edge(
+            subject, object, predicate=predicate, source_doc_id=source_doc_id
+        )
+        return triple
+
+    def add_entity(self, name: str, **attributes: Any) -> None:
+        """Register an entity node with attributes."""
+        self._graph.add_node(name, **attributes)
+
+    def entity_attributes(self, name: str) -> Dict[str, Any]:
+        """Attributes dict of a known entity."""
+        if name not in self._graph:
+            raise KeyError(f"unknown entity {name!r}")
+        return dict(self._graph.nodes[name])
+
+    # ------------------------------------------------------------------
+
+    def num_entities(self) -> int:
+        """Number of entities in the graph."""
+        return self._graph.number_of_nodes()
+
+    def num_triples(self) -> int:
+        """Number of asserted facts."""
+        return self._graph.number_of_edges()
+
+    def entities(self) -> List[str]:
+        """All entity names."""
+        return list(self._graph.nodes)
+
+    def triples(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object: Optional[str] = None,
+    ) -> List[Triple]:
+        """Pattern match with any combination of fixed positions."""
+        results = []
+        for s, o, data in self._graph.edges(data=True):
+            if subject is not None and s != subject:
+                continue
+            if object is not None and o != object:
+                continue
+            if predicate is not None and data.get("predicate") != predicate:
+                continue
+            results.append(Triple(s, data.get("predicate", ""), o, data.get("source_doc_id")))
+        return results
+
+    def neighbors(self, entity: str, predicate: Optional[str] = None) -> List[str]:
+        """Objects reachable from ``entity`` via one (optionally typed) edge."""
+        if entity not in self._graph:
+            return []
+        found = []
+        for _, target, data in self._graph.out_edges(entity, data=True):
+            if predicate is None or data.get("predicate") == predicate:
+                found.append(target)
+        return sorted(set(found))
+
+    def incoming(self, entity: str, predicate: Optional[str] = None) -> List[str]:
+        """Subjects with an (optionally typed) edge into ``entity``."""
+        if entity not in self._graph:
+            return []
+        found = []
+        for source, _, data in self._graph.in_edges(entity, data=True):
+            if predicate is None or data.get("predicate") == predicate:
+                found.append(source)
+        return sorted(set(found))
+
+    def path_exists(self, source: str, target: str, max_hops: int = 3) -> bool:
+        """True when target is reachable within max_hops."""
+        if source not in self._graph or target not in self._graph:
+            return False
+        try:
+            length = nx.shortest_path_length(self._graph, source, target)
+        except nx.NetworkXNoPath:
+            return False
+        return length <= max_hops
+
+    def provenance(self, subject: str, predicate: str, object: str) -> List[str]:
+        """Document ids asserting the given fact (the audit trail)."""
+        return sorted(
+            {
+                t.source_doc_id
+                for t in self.triples(subject, predicate, object)
+                if t.source_doc_id is not None
+            }
+        )
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Persist to the given path."""
+        payload = {
+            "nodes": [
+                {"name": n, "attributes": dict(attrs)}
+                for n, attrs in self._graph.nodes(data=True)
+            ],
+            "triples": [t.to_dict() for t in self.triples()],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Path) -> "GraphStore":
+        """Restore from a path written by ``save``."""
+        payload = json.loads(Path(path).read_text())
+        store = cls()
+        for node in payload.get("nodes", []):
+            store.add_entity(node["name"], **node.get("attributes", {}))
+        for data in payload.get("triples", []):
+            triple = Triple.from_dict(data)
+            store.add_triple(
+                triple.subject, triple.predicate, triple.object, triple.source_doc_id
+            )
+        return store

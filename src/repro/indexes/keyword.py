@@ -1,0 +1,135 @@
+"""BM25 keyword index, written from scratch.
+
+Stands in for the OpenSearch keyword store in the paper's architecture
+(Figure 1: Sycamore "can store processed data in a variety of indexes,
+including keyword, vector, and graph stores"). Implements the standard
+Okapi BM25 ranking function over an inverted index, with incremental
+add/remove and JSON persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..embedding.embedder import tokenize
+
+
+@dataclass
+class SearchHit:
+    """One ranked retrieval result."""
+
+    doc_id: str
+    score: float
+
+
+class KeywordIndex:
+    """Okapi BM25 over an in-memory inverted index.
+
+    ``k1`` saturates term frequency; ``b`` controls length normalization.
+    Defaults are the standard Robertson values.
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0 or not 0.0 <= b <= 1.0:
+            raise ValueError(f"invalid BM25 parameters k1={k1}, b={b}")
+        self.k1 = k1
+        self.b = b
+        # term -> {doc_id -> term frequency}
+        self._postings: Dict[str, Dict[str, int]] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._total_length = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    def doc_ids(self) -> List[str]:
+        """All stored document ids."""
+        return list(self._doc_lengths)
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index ``text`` under ``doc_id``; re-adding replaces the old text."""
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        tokens = tokenize(text)
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_length += len(tokens)
+        for token in tokens:
+            self._postings.setdefault(token, {})
+            self._postings[token][doc_id] = self._postings[token].get(doc_id, 0) + 1
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove a document; returns False if it was not indexed."""
+        length = self._doc_lengths.pop(doc_id, None)
+        if length is None:
+            return False
+        self._total_length -= length
+        empty_terms = []
+        for term, postings in self._postings.items():
+            if doc_id in postings:
+                del postings[doc_id]
+                if not postings:
+                    empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        return True
+
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        """Top-``k`` documents by BM25 score; ties break on doc_id."""
+        if k <= 0 or not self._doc_lengths:
+            return []
+        n_docs = len(self._doc_lengths)
+        avg_length = self._total_length / n_docs if n_docs else 0.0
+        scores: Dict[str, float] = {}
+        for term in set(tokenize(query)):
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            df = len(postings)
+            idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+            for doc_id, tf in postings.items():
+                length = self._doc_lengths[doc_id]
+                denom = tf + self.k1 * (
+                    1.0 - self.b + self.b * (length / avg_length if avg_length else 1.0)
+                )
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * tf * (self.k1 + 1.0) / denom
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [SearchHit(doc_id=d, score=s) for d, s in ranked[:k]]
+
+    def term_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term.lower(), {}))
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Persist to the given path."""
+        payload = {
+            "k1": self.k1,
+            "b": self.b,
+            "postings": self._postings,
+            "doc_lengths": self._doc_lengths,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Path) -> "KeywordIndex":
+        """Restore from a path written by ``save``."""
+        payload = json.loads(Path(path).read_text())
+        index = cls(k1=payload["k1"], b=payload["b"])
+        index._postings = {
+            term: dict(postings) for term, postings in payload["postings"].items()
+        }
+        index._doc_lengths = dict(payload["doc_lengths"])
+        index._total_length = sum(index._doc_lengths.values())
+        return index

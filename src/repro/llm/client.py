@@ -1,0 +1,276 @@
+"""Reliability layer over any LLM backend.
+
+Sycamore "handles retries and model-specific details like parsing the
+output as JSON" (§5.2). This module is that layer: exponential-backoff
+retry for transient failures, JSON-mode completion with output repair,
+a response cache, an optional rate limiter, and a batch API used by the
+execution engine to parallelize per-document LLM transforms.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .base import LLMClient, LLMResponse
+from .errors import MalformedOutputError, RateLimitError, TransientLLMError
+
+
+def repair_json(text: str) -> Any:
+    """Parse model output as JSON, tolerating the usual LLM damage.
+
+    Tries, in order: direct parse; stripping Markdown code fences;
+    extracting the outermost ``{...}`` or ``[...]`` span; removing
+    trailing commas; and closing unbalanced brackets/braces on truncated
+    output. Raises :class:`MalformedOutputError` when nothing works.
+    """
+    candidates = [text]
+    fenced = re.search(r"```(?:json)?\s*(.*?)```", text, re.DOTALL)
+    if fenced:
+        candidates.append(fenced.group(1))
+    for opener, closer in (("{", "}"), ("[", "]")):
+        start = text.find(opener)
+        end = text.rfind(closer)
+        if start != -1 and end > start:
+            candidates.append(text[start : end + 1])
+        if start != -1:
+            candidates.append(_close_brackets(text[start:]))
+    for candidate in candidates:
+        for attempt in (candidate, re.sub(r",\s*([}\]])", r"\1", candidate)):
+            try:
+                return json.loads(attempt)
+            except (json.JSONDecodeError, ValueError):
+                continue
+    raise MalformedOutputError("could not parse output as JSON", raw_output=text)
+
+
+def _close_brackets(fragment: str) -> str:
+    """Best-effort completion of a truncated JSON fragment."""
+    stack: List[str] = []
+    in_string = False
+    escaped = False
+    string_start = -1
+    for position, ch in enumerate(fragment):
+        if escaped:
+            escaped = False
+            continue
+        if ch == "\\":
+            escaped = True
+            continue
+        if ch == '"':
+            in_string = not in_string
+            if in_string:
+                string_start = position
+            continue
+        if in_string:
+            continue
+        if ch in "{[":
+            stack.append("}" if ch == "{" else "]")
+        elif ch in "}]" and stack:
+            stack.pop()
+    repaired = fragment
+    if in_string:
+        # The cut fell inside a string. If that string is an object *key*
+        # (preceded by '{' or ','), drop it — a quote-closed key with no
+        # value is still invalid. A cut *value* (preceded by ':') can be
+        # closed in place.
+        before = fragment[:string_start].rstrip()
+        if before.endswith(("{", ",")):
+            repaired = before
+        else:
+            repaired += '"'
+    # Drop a dangling comma/colon left at the end.
+    repaired = re.sub(r"[,:]\s*$", "", repaired)
+    return repaired + "".join(reversed(stack))
+
+
+class RateLimiter:
+    """Token-bucket rate limiter (requests per second).
+
+    Disabled limiters cost nothing. The clock is injectable so tests can
+    drive it deterministically.
+    """
+
+    def __init__(
+        self,
+        requests_per_second: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        self.rate = requests_per_second
+        self._clock = clock
+        self._sleeper = sleeper
+        self._lock = threading.Lock()
+        self._allowance = requests_per_second or 0.0
+        self._last = clock()
+
+    def acquire(self) -> None:
+        """Block (via the sleeper) until a request slot is available."""
+        if self.rate is None:
+            return
+        with self._lock:
+            now = self._clock()
+            self._allowance = min(
+                self.rate, self._allowance + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._allowance < 1.0:
+                wait = (1.0 - self._allowance) / self.rate
+                self._sleeper(wait)
+                self._last = self._clock()
+                self._allowance = 0.0
+            else:
+                self._allowance -= 1.0
+
+
+class ReliableLLM(LLMClient):
+    """Retry + cache + JSON-mode wrapper around a raw backend.
+
+    All LLM-powered transforms talk to the backend through this class so
+    that retries, caching and throttling behave uniformly.
+    """
+
+    def __init__(
+        self,
+        backend: LLMClient,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.05,
+        cache_enabled: bool = True,
+        rate_limiter: Optional[RateLimiter] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        self.backend = backend
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.cache_enabled = cache_enabled
+        self.rate_limiter = rate_limiter or RateLimiter(None)
+        self._sleeper = sleeper
+        self._cache: Dict[Tuple[str, str, Optional[int]], LLMResponse] = {}
+        self._cache_lock = threading.Lock()
+        self.retries_performed = 0
+
+    def complete(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        temperature: float = 0.0,
+    ) -> LLMResponse:
+        """Generate a completion for the prompt (see LLMClient)."""
+        key = (model, prompt, max_output_tokens)
+        if self.cache_enabled and temperature == 0.0:
+            with self._cache_lock:
+                hit = self._cache.get(key)
+            if hit is not None:
+                return LLMResponse(
+                    text=hit.text,
+                    model=hit.model,
+                    usage=hit.usage,
+                    latency_s=0.0,
+                    cached=True,
+                )
+
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            self.rate_limiter.acquire()
+            try:
+                response = self.backend.complete(
+                    prompt,
+                    model=model,
+                    max_output_tokens=max_output_tokens,
+                    temperature=temperature,
+                )
+                break
+            except RateLimitError as exc:
+                last_error = exc
+                self.retries_performed += 1
+                self._sleeper(max(exc.retry_after_s, self._backoff(attempt)))
+            except TransientLLMError as exc:
+                last_error = exc
+                self.retries_performed += 1
+                self._sleeper(self._backoff(attempt))
+        else:
+            raise TransientLLMError(
+                f"giving up after {self.max_retries + 1} attempts"
+            ) from last_error
+
+        if self.cache_enabled and temperature == 0.0:
+            with self._cache_lock:
+                self._cache[key] = response
+        return response
+
+    def complete_json(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        json_retries: int = 2,
+    ) -> Any:
+        """Complete and parse the output as JSON, retrying malformed output.
+
+        Retries bypass the response cache (a cached malformed answer would
+        never heal) and nudge the temperature so a stochastic backend can
+        produce different output.
+        """
+        last_error: Optional[MalformedOutputError] = None
+        for attempt in range(json_retries + 1):
+            temperature = 0.0 if attempt == 0 else 0.1
+            response = self.complete(
+                prompt,
+                model=model,
+                max_output_tokens=max_output_tokens,
+                temperature=temperature,
+            )
+            try:
+                return repair_json(response.text)
+            except MalformedOutputError as exc:
+                last_error = exc
+                self._drop_cached(model, prompt, max_output_tokens)
+        assert last_error is not None
+        raise last_error
+
+    def complete_many(
+        self,
+        prompts: List[str],
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        parallelism: int = 8,
+    ) -> List[LLMResponse]:
+        """Batch completion preserving input order."""
+        if not prompts:
+            return []
+        if parallelism <= 1 or len(prompts) == 1:
+            return [
+                self.complete(p, model=model, max_output_tokens=max_output_tokens)
+                for p in prompts
+            ]
+        with ThreadPoolExecutor(max_workers=parallelism) as pool:
+            return list(
+                pool.map(
+                    lambda p: self.complete(
+                        p, model=model, max_output_tokens=max_output_tokens
+                    ),
+                    prompts,
+                )
+            )
+
+    def cache_size(self) -> int:
+        """Number of cached responses."""
+        with self._cache_lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached responses."""
+        with self._cache_lock:
+            self._cache.clear()
+
+    def _drop_cached(self, model: str, prompt: str, max_output_tokens: Optional[int]) -> None:
+        with self._cache_lock:
+            self._cache.pop((model, prompt, max_output_tokens), None)
+
+    def _backoff(self, attempt: int) -> float:
+        return self.backoff_base_s * (2**attempt)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the LLM runtime.
+
+Mirrors the failure modes of hosted LLM APIs so that the retry/repair
+machinery in :mod:`repro.llm.client` exercises realistic code paths.
+"""
+
+from __future__ import annotations
+
+
+class LLMError(Exception):
+    """Base class for all LLM runtime errors."""
+
+
+class TransientLLMError(LLMError):
+    """A retryable server-side failure (5xx, connection reset, timeout)."""
+
+
+class RateLimitError(TransientLLMError):
+    """Too many requests; retry after backing off."""
+
+    def __init__(self, message: str = "rate limited", retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ContextWindowExceededError(LLMError):
+    """The prompt does not fit in the model's context window.
+
+    Not retryable — the caller must shrink the prompt. The RAG-scaling
+    experiments (C1) rely on this surfacing when context packing overflows.
+    """
+
+    def __init__(self, prompt_tokens: int, context_window: int):
+        super().__init__(
+            f"prompt of {prompt_tokens} tokens exceeds context window "
+            f"of {context_window} tokens"
+        )
+        self.prompt_tokens = prompt_tokens
+        self.context_window = context_window
+
+
+class MalformedOutputError(LLMError):
+    """The model's output could not be parsed as the requested format."""
+
+    def __init__(self, message: str, raw_output: str = ""):
+        super().__init__(message)
+        self.raw_output = raw_output
+
+
+class UnknownModelError(LLMError):
+    """The requested model name is not registered."""

@@ -1,0 +1,186 @@
+"""Prompt construction and the structured task-prompt format.
+
+Every LLM-powered transform in this stack builds its prompt through
+:func:`render_task_prompt`. The prompt contains human-readable
+instructions (what a hosted model would act on) *and* machine-parseable
+section markers. The simulated models dispatch on the markers; a real
+backend would simply ignore them. This keeps the whole prompt pipeline —
+construction, token counting, context-window checks, caching keys —
+identical regardless of backend.
+
+Format::
+
+    <<TASK:extract_properties>>
+    <<SECTION:instructions>>
+    Extract the following fields ...
+    <<SECTION:schema>>
+    {"us_state": "string", ...}
+    <<SECTION:document>>
+    ...document text...
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .errors import MalformedOutputError
+
+_TASK_RE = re.compile(r"^<<TASK:([a-z0-9_]+)>>[ \t]*\r?$", re.MULTILINE)
+_SECTION_RE = re.compile(r"^<<SECTION:([a-z0-9_]+)>>[ \t]*\r?$", re.MULTILINE)
+
+
+def render_task_prompt(task: str, sections: Dict[str, str]) -> str:
+    """Serialise a task name and named sections into one prompt string."""
+    if not re.fullmatch(r"[a-z0-9_]+", task):
+        raise ValueError(f"invalid task name: {task!r}")
+    parts = [f"<<TASK:{task}>>"]
+    for name, body in sections.items():
+        if not re.fullmatch(r"[a-z0-9_]+", name):
+            raise ValueError(f"invalid section name: {name!r}")
+        parts.append(f"<<SECTION:{name}>>")
+        parts.append(body.rstrip("\n"))
+    return "\n".join(parts)
+
+
+def parse_task_prompt(prompt: str) -> Tuple[str, Dict[str, str]]:
+    """Recover (task, sections) from a prompt built by render_task_prompt."""
+    task_match = _TASK_RE.search(prompt)
+    if task_match is None:
+        raise MalformedOutputError("prompt has no <<TASK:...>> marker", prompt)
+    task = task_match.group(1)
+    sections: Dict[str, str] = {}
+    matches = list(_SECTION_RE.finditer(prompt))
+    for i, match in enumerate(matches):
+        start = match.end()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(prompt)
+        sections[match.group(1)] = prompt[start:end].strip("\n")
+    return task, sections
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A reusable prompt with ``{placeholder}`` slots.
+
+    Used by the ``llm_query`` transform (paper §5.2): "the prompt can be
+    parameterized by the content of the document and/or the properties of
+    the document".
+    """
+
+    task: str
+    instructions: str
+    required_fields: Tuple[str, ...] = ()
+
+    def render(self, **fields: str) -> str:
+        """Render the template with the given section fields."""
+        missing = [name for name in self.required_fields if name not in fields]
+        if missing:
+            raise ValueError(f"missing prompt fields: {missing}")
+        sections = {"instructions": self.instructions}
+        sections.update({name: str(value) for name, value in fields.items()})
+        return render_task_prompt(self.task, sections)
+
+
+# ----------------------------------------------------------------------
+# Built-in templates used by Sycamore transforms and Luna operators.
+# ----------------------------------------------------------------------
+
+EXTRACT_PROPERTIES = PromptTemplate(
+    task="extract_properties",
+    instructions=(
+        "You are extracting structured metadata from a document. "
+        "Given the JSON schema below, return a single JSON object whose "
+        "keys are exactly the schema's field names with values taken from "
+        "the document. Use null for fields that cannot be determined."
+    ),
+    required_fields=("schema", "document"),
+)
+
+FILTER_DOCUMENT = PromptTemplate(
+    task="filter",
+    instructions=(
+        "You are deciding whether a document satisfies a condition. "
+        "Read the condition and the document, then answer with exactly "
+        "one word: 'yes' or 'no'."
+    ),
+    required_fields=("condition", "document"),
+)
+
+SUMMARIZE_DOCUMENT = PromptTemplate(
+    task="summarize",
+    instructions=(
+        "Summarize the document below in at most the requested number of "
+        "sentences, preserving the key facts."
+    ),
+    required_fields=("document",),
+)
+
+SUMMARIZE_COLLECTION = PromptTemplate(
+    task="summarize_collection",
+    instructions=(
+        "You are given summaries or excerpts of several documents. Produce "
+        "one coherent synthesis covering the main themes."
+    ),
+    required_fields=("documents",),
+)
+
+PLAN_QUERY = PromptTemplate(
+    task="plan_query",
+    instructions=(
+        "You are a query planner for an unstructured-analytics system. "
+        "Given a natural-language question, a data schema, and the "
+        "available operators, produce a query plan as a JSON list of "
+        "operator nodes. Each node has 'operation', 'description', "
+        "'inputs' (list of node indexes) and operator-specific fields."
+    ),
+    required_fields=("question", "schema", "operators"),
+)
+
+ANSWER_QUESTION = PromptTemplate(
+    task="answer_question",
+    instructions=(
+        "Answer the question using only the provided context passages. "
+        "If the context does not contain the answer, say you do not know."
+    ),
+    required_fields=("question", "context"),
+)
+
+EXTRACT_ENTITIES = PromptTemplate(
+    task="extract_entities",
+    instructions=(
+        "Extract entities and their relations from the document as a JSON "
+        "list of objects with keys 'subject', 'predicate' and 'object'. "
+        "Use short canonical predicates."
+    ),
+    required_fields=("document",),
+)
+
+CLASSIFY_TEXT = PromptTemplate(
+    task="classify",
+    instructions=(
+        "Classify the document into exactly one of the provided categories. "
+        "Reply with the category name only."
+    ),
+    required_fields=("categories", "document"),
+)
+
+
+def split_into_chunks(text: str, chunk_tokens: int, overlap_tokens: int = 0) -> List[str]:
+    """Word-boundary chunking used for prompt packing and RAG ingestion."""
+    if chunk_tokens <= 0:
+        raise ValueError("chunk_tokens must be positive")
+    if overlap_tokens < 0 or overlap_tokens >= chunk_tokens:
+        raise ValueError("overlap_tokens must be in [0, chunk_tokens)")
+    words = text.split()
+    if not words:
+        return []
+    # count_tokens >= word count, so chunk_tokens words never exceed budget.
+    step = max(chunk_tokens - overlap_tokens, 1)
+    chunks = []
+    for start in range(0, len(words), step):
+        chunk_words = words[start : start + chunk_tokens]
+        chunks.append(" ".join(chunk_words))
+        if start + chunk_tokens >= len(words):
+            break
+    return chunks

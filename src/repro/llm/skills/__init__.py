@@ -1,0 +1,30 @@
+"""Task skills of the simulated LLM backend.
+
+Each skill implements one prompt task (see :mod:`repro.llm.prompts`):
+given the parsed prompt sections it produces the completion text a
+competent model would return. Quality degradation is injected by the
+caller (:class:`repro.llm.simulated.SimulatedLLM`) through the
+:class:`~repro.llm.skills.common.Noise` helper passed to each skill.
+"""
+
+from .common import Noise
+from .classify import run_classify
+from .entities import run_extract_entities
+from .extraction import run_extract_properties
+from .filtering import run_filter
+from .planning import run_plan_query
+from .qa import run_answer_question
+from .summarize import run_summarize, run_summarize_collection
+
+SKILLS = {
+    "extract_entities": run_extract_entities,
+    "extract_properties": run_extract_properties,
+    "filter": run_filter,
+    "summarize": run_summarize,
+    "summarize_collection": run_summarize_collection,
+    "plan_query": run_plan_query,
+    "answer_question": run_answer_question,
+    "classify": run_classify,
+}
+
+__all__ = ["Noise", "SKILLS"]

@@ -1,0 +1,48 @@
+"""The ``classify`` skill: choose one category for a document.
+
+Backs schema enrichment (e.g. assigning a ``cause_category``) and the
+sentiment analyses the paper's marketing use case describes. Categories
+that name a known concept are scored through the lexicon; unknown
+categories fall back to keyword overlap with the category name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import knowledge
+from .common import Noise
+
+
+def run_classify(sections: Dict[str, str], noise: Noise) -> str:
+    """Choose the best-matching category for the document."""
+    categories = _parse_categories(sections.get("categories", ""))
+    document = sections.get("document", "")
+    if not categories:
+        return ""
+    scored = [(c, _score(c, document)) for c in categories]
+    # Stable winner: highest score, ties broken by category order.
+    best = max(scored, key=lambda pair: pair[1])[0]
+    if noise.slips(0.5) and len(categories) > 1:
+        alternatives = [c for c in categories if c != best]
+        best = noise.choice(alternatives)
+    return best
+
+
+def _parse_categories(raw: str) -> List[str]:
+    parts = [p.strip() for p in raw.replace("\n", ",").split(",")]
+    return [p for p in parts if p]
+
+
+def _score(category: str, document: str) -> float:
+    concepts = knowledge.match_concepts(category)
+    norm_cat = knowledge.normalize(category).replace(" ", "_")
+    if norm_cat in knowledge.CONCEPT_KEYWORDS:
+        concepts = list(dict.fromkeys(concepts + [norm_cat]))
+    if concepts:
+        return float(
+            sum(1 for c in concepts if knowledge.text_matches_concept(document, c))
+        )
+    cat_words = set(knowledge.normalize(category).split())
+    doc_words = set(knowledge.normalize(document).split())
+    return len(cat_words & doc_words) / max(len(cat_words), 1) * 0.5

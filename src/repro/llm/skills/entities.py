@@ -1,0 +1,100 @@
+"""The ``extract_entities`` skill: entity/relation triples from text.
+
+Backs the pay-as-you-go knowledge-graph construction the paper discusses
+(§7): entities and typed relations are pulled from each document so
+Sycamore can assert them into the graph store with provenance. Like a
+real extraction model, the skill recognises the entity types of our
+domains — companies, sectors, executives, aircraft, locations, causes —
+and emits JSON triples; under noise it drops or garbles relations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from .. import knowledge
+from .common import Noise, find_labeled_value
+
+
+def run_extract_entities(sections: Dict[str, str], noise: Noise) -> str:
+    """Return a JSON list of {subject, predicate, object} triples."""
+    document = sections.get("document", "")
+    triples: List[Dict[str, str]] = []
+    triples.extend(_company_triples(document))
+    triples.extend(_incident_triples(document))
+    if noise.slips(0.5) and triples:
+        # A sloppy model drops a relation.
+        triples.pop(noise.rng.randrange(len(triples)))
+    if noise.slips(0.5) and triples:
+        # ...or hallucinates a spurious sector/location link.
+        victim = noise.choice(triples)
+        triples.append(
+            {
+                "subject": victim["subject"],
+                "predicate": "related_to",
+                "object": noise.choice(["unknown", "misc", "general"]),
+            }
+        )
+    return json.dumps(triples)
+
+
+def _company_triples(text: str) -> List[Dict[str, str]]:
+    company = find_labeled_value("company", text)
+    if company is None:
+        return []
+    triples = []
+    sector = find_labeled_value("sector", text)
+    if sector:
+        triples.append({"subject": company, "predicate": "in_sector", "object": sector})
+    ceo = find_labeled_value("chief_executive_officer", text) or find_labeled_value(
+        "ceo", text
+    )
+    if ceo:
+        triples.append({"subject": company, "predicate": "led_by", "object": ceo})
+    ticker = find_labeled_value("ticker", text)
+    if ticker:
+        triples.append({"subject": company, "predicate": "trades_as", "object": ticker})
+    if knowledge.text_matches_concept(text, "ceo_change"):
+        triples.append(
+            {"subject": company, "predicate": "had_event", "object": "ceo_change"}
+        )
+    sentiment = knowledge.sentiment_of(text)
+    if sentiment != "neutral":
+        triples.append(
+            {"subject": company, "predicate": "sentiment", "object": sentiment}
+        )
+    return triples
+
+
+_REPORT_ID_RE = re.compile(r"\b(NTSB-\d{4}-\d{3,6})\b")
+
+
+def _incident_triples(text: str) -> List[Dict[str, str]]:
+    match = _REPORT_ID_RE.search(text)
+    if match is None:
+        return []
+    report_id = match.group(1)
+    triples = []
+    state = knowledge.find_state(text)
+    if state:
+        triples.append(
+            {"subject": report_id, "predicate": "occurred_in", "object": state}
+        )
+    aircraft = find_labeled_value("aircraft", text)
+    if aircraft:
+        triples.append(
+            {"subject": report_id, "predicate": "involved_aircraft", "object": aircraft}
+        )
+    for concept in ("wind", "icing", "mechanical", "pilot_error", "bird_strike"):
+        if knowledge.text_matches_concept(text, concept):
+            triples.append(
+                {"subject": report_id, "predicate": "has_factor", "object": concept}
+            )
+    date = knowledge.find_date(text)
+    if date:
+        triples.append(
+            {"subject": report_id, "predicate": "occurred_on", "object": date}
+        )
+    return triples

@@ -1,0 +1,31 @@
+"""The ``filter`` skill: yes/no semantic condition evaluation.
+
+Backs ``llm_filter`` (Sycamore) and ``LlmFilter`` (Luna). The oracle
+decision comes from the concept lexicon; noise flips verdicts with a
+probability scaled by model quality, so cheap models produce visibly
+noisier filters — the trade-off Luna's optimizer navigates (C4 bench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..knowledge import condition_holds
+from .common import Noise
+
+#: Per-document verdict difficulty. Clear-cut documents are easy for
+#: instruction-tuned models; this weight puts sim-large near 99.4%
+#: verdict accuracy, sim-medium near 98%, and sim-small near 96% — noisy
+#: enough that cheap models visibly hurt exact counts over a corpus, as
+#: the optimizer bench (C4) requires.
+_FILTER_DIFFICULTY = 0.12
+
+
+def run_filter(sections: Dict[str, str], noise: Noise) -> str:
+    """Answer 'yes'/'no' for the condition against the document."""
+    condition = sections.get("condition", "")
+    document = sections.get("document", "")
+    verdict = condition_holds(condition, document)
+    if noise.slips(_FILTER_DIFFICULTY):
+        verdict = not verdict
+    return "yes" if verdict else "no"

@@ -1,0 +1,709 @@
+"""The ``plan_query`` skill: natural language -> logical query plan.
+
+This is the simulated stand-in for the planner LLM of §6: "Luna uses an
+LLM to interpret a user question and decompose it to a DAG of data
+processing operations ... The LLM generates the plan in JSON format".
+
+The skill is a rule-based semantic parser over the question, constrained
+to the operator vocabulary and data schema passed in the prompt (exactly
+the information the real planner prompt carries). It emits a JSON list of
+nodes; node ``i`` is referenced by other nodes through ``inputs`` and by
+``Math`` expressions through ``#i``.
+
+Like a real planner LLM it has failure modes: ambiguous questions can be
+mapped to a plausible-but-unintended plan, and low-quality models slip on
+filter placement or aggregation fields. The Luna accuracy benchmark (E2)
+measures end-to-end correctness through these failure modes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import knowledge
+from .common import Noise
+
+_PERCENT_RE = re.compile(
+    r"what\s+percent(?:age)?\s+of\s+(?P<whole>.+?)\s+(?:were|was|are|is|had|involved)"
+    r"\s+(?:due\s+to\s+|caused\s+by\s+|attributed\s+to\s+)?(?P<part>.+?)\s*\??$",
+    re.IGNORECASE,
+)
+_COUNT_RE = re.compile(r"^\s*how\s+many\s+(?P<rest>.+?)\s*\??$", re.IGNORECASE)
+_TOP_GROUP_RE = re.compile(
+    r"which\s+(?P<n>\d+|two|three|four|five)?\s*(?P<group>\w+)\s+(?:had|has|saw|recorded)\s+the\s+(?P<dir>most|fewest|highest|lowest)"
+    r"(?:\s+number\s+of)?\s+(?P<rest>.+?)\s*\??$",
+    re.IGNORECASE,
+)
+
+_NUMBER_WORDS = {"two": 2, "three": 3, "four": 4, "five": 5}
+_AGG_RE = re.compile(
+    r"what\s+(?:was|is|were)\s+the\s+(?P<func>total|average|avg|mean|sum|maximum|max|minimum|min|median)\s+"
+    r"(?P<field>[\w\s]+?)\s+(?:of|for|across)\s+(?P<rest>.+?)\s*\??$",
+    re.IGNORECASE,
+)
+_GROUP_BY_RE = re.compile(
+    r"\s*,?\s*(?:per|by|for each|broken down by|grouped by)\s+(?P<group>\w+)\s*$",
+    re.IGNORECASE,
+)
+_YEAR_RANGE_RE = re.compile(
+    r"\b(?:between|from)\s+(?P<a>19\d{2}|20\d{2})\s+(?:and|to|through)\s+(?P<b>19\d{2}|20\d{2})\b",
+    re.IGNORECASE,
+)
+_LIST_RE = re.compile(
+    r"^\s*(?:list|name|which|what)\s+(?:are\s+the\s+|the\s+)?(?P<what>[\w\s]+?)"
+    r"\s+(?:of\s+)?(?:that|whose|with|where|which|who)\s+(?P<rest>.+?)\s*\??$",
+    re.IGNORECASE,
+)
+_SUMMARIZE_RE = re.compile(
+    r"^\s*summariz?e\s+(?P<rest>.+?)\s*\.?\s*$", re.IGNORECASE
+)
+_YEAR_RE = re.compile(r"\b(19\d{2}|20\d{2})\b")
+
+_FUNC_ALIASES = {
+    "total": "sum", "sum": "sum", "average": "avg", "avg": "avg", "mean": "avg",
+    "maximum": "max", "max": "max", "minimum": "min", "min": "min", "median": "median",
+}
+
+#: Subject nouns that denote the dataset rather than a condition.
+_DATASET_NOUNS = frozenset(
+    """incident incidents report reports accident accidents document documents
+    record records company companies filing filings earnings those these
+    them of""".split()
+)
+
+
+def run_plan_query(sections: Dict[str, str], noise: Noise) -> str:
+    """Parse the question into a JSON logical plan."""
+    question = sections.get("question", "").strip()
+    schema = _parse_schema(sections.get("schema", "{}"))
+    allowed = _parse_operators(sections.get("operators", ""))
+    secondary = _parse_secondary(sections.get("secondary", ""))
+    builder = _PlanBuilder(schema, allowed)
+
+    # Data-integration pattern (paper §1): "... and their competitors"
+    # joins the unstructured analysis against a structured database.
+    question, join_request = _peel_join_suffix(question, secondary, builder)
+
+    parsed = (
+        _try_percentage(question, builder)
+        or _try_top_group(question, builder)
+        or _try_aggregate(question, builder)
+        or _try_count(question, builder)
+        or _try_summarize(question, builder)
+        or _try_superlative_list(question, builder)
+        or _try_list(question, builder)
+    )
+    if not parsed:
+        _fallback_rag(question, builder)
+
+    if join_request is not None and builder.supports("Join"):
+        _append_join(builder, *join_request)
+
+    plan = builder.nodes
+    plan = _maybe_misplan(plan, noise)
+    return json.dumps(plan)
+
+
+# ----------------------------------------------------------------------
+# Prompt-section parsing
+# ----------------------------------------------------------------------
+
+
+def _parse_schema(raw: str) -> Dict[str, Any]:
+    try:
+        schema = json.loads(raw)
+    except json.JSONDecodeError:
+        schema = {}
+    if not isinstance(schema, dict):
+        schema = {}
+    schema.setdefault("index", "default")
+    schema.setdefault("fields", {})
+    return schema
+
+
+def _parse_operators(raw: str) -> List[str]:
+    names = re.findall(r"\b([A-Z][A-Za-z]+)\b", raw)
+    return list(dict.fromkeys(names))
+
+
+def _parse_secondary(raw: str) -> List[Dict[str, Any]]:
+    """Secondary data sources available for joins, if the prompt lists any."""
+    if not raw.strip():
+        return []
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError:
+        return []
+    if isinstance(payload, dict):
+        payload = [payload]
+    return [p for p in payload if isinstance(p, dict) and "index" in p]
+
+
+_JOIN_SUFFIX_RE = re.compile(
+    r"^(?P<base>.+?),?\s+(?:and|along with|together with)\s+(?:list\s+|show\s+)?their\s+"
+    r"(?P<noun>[a-z_ ]+?)\s*[.?]*\s*$",
+    re.IGNORECASE,
+)
+
+
+def _peel_join_suffix(
+    question: str, secondary: List[Dict[str, Any]], builder: _PlanBuilder
+) -> tuple:
+    """Split "... and their <noun>" when a secondary source can serve it.
+
+    Returns (remaining question, join_request or None); the join request
+    is (secondary index name, join key field, target field).
+    """
+    match = _JOIN_SUFFIX_RE.match(question.strip())
+    if match is None or not secondary:
+        return question, None
+    noun = match.group("noun").strip().lower().replace(" ", "_")
+    primary_fields = set(builder.schema.get("fields", {}))
+    for source in secondary:
+        fields = set(source.get("fields", {}))
+        target = _matching_field(noun, fields)
+        if target is None:
+            continue
+        join_keys = sorted(
+            f
+            for f in primary_fields & fields
+            if f.lower() in ("company", "ticker", "report_id", "name", "id", "state")
+        )
+        if not join_keys:
+            join_keys = sorted(primary_fields & (fields - {target}))
+        if not join_keys:
+            continue
+        return match.group("base"), (str(source["index"]), join_keys[0], target)
+    return question, None
+
+
+def _matching_field(noun: str, fields: set) -> Optional[str]:
+    singular = noun.rstrip("s")
+    for field in sorted(fields):
+        lowered = field.lower()
+        if noun in lowered or singular in lowered:
+            return field
+    return None
+
+
+def _append_join(builder: _PlanBuilder, index: str, key: str, target: str) -> None:
+    """Join the current plan tail against a secondary index."""
+    left = len(builder.nodes) - 1
+    # Joins need document sets: if the plan ended with a projection, join
+    # from the node the projection read.
+    if builder.nodes[left]["operation"] == "Project":
+        left = builder.nodes[left]["inputs"][0]
+    right = builder.add(
+        "QueryIndex", f"Read the '{index}' database", [], index=index, query=None
+    )
+    joined = builder.add(
+        "Join",
+        f"Join on {key} against '{index}'",
+        [left, right],
+        left_on=key,
+        right_on=key,
+    )
+    builder.add(
+        "Project",
+        f"List each {key} with its {target}",
+        [joined],
+        fields=[key, f"right.{target}"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan assembly
+# ----------------------------------------------------------------------
+
+
+class _PlanBuilder:
+    """Accumulates plan nodes, constrained to the allowed operator set."""
+
+    def __init__(self, schema: Dict[str, Any], allowed: List[str]):
+        self.schema = schema
+        self.allowed = allowed or None  # None -> no restriction information
+        self.nodes: List[Dict[str, Any]] = []
+
+    def supports(self, operation: str) -> bool:
+        """True when the operator is in the allowed vocabulary."""
+        return self.allowed is None or operation in self.allowed
+
+    def add(self, operation: str, description: str, inputs: List[int], **fields: Any) -> int:
+        """Append a node and return its index."""
+        node: Dict[str, Any] = {
+            "operation": operation,
+            "description": description,
+            "inputs": inputs,
+        }
+        node.update(fields)
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def scan(self, query: Optional[str] = None) -> int:
+        """Add the plan's QueryIndex source node."""
+        index = self.schema.get("index", "default")
+        description = f"Read all records from the '{index}' index"
+        if query:
+            description = f"Retrieve records matching '{query}' from '{index}'"
+        return self.add("QueryIndex", description, [], index=index, query=query)
+
+    def field_of_kind(self, *keywords: str) -> Optional[str]:
+        """Schema field best matching the keywords.
+
+        Most keyword hits win; ties break toward the field with fewer
+        unmatched name tokens, so "revenue" resolves to ``revenue_musd``
+        rather than ``revenue_growth_pct``.
+        """
+        best: Optional[str] = None
+        best_score = 0.0
+        for name in self.schema.get("fields", {}):
+            lowered = name.lower()
+            hits = sum(1 for kw in keywords if kw and kw.lower() in lowered)
+            if hits == 0:
+                continue
+            extra_tokens = max(len(re.split(r"[_\s]+", lowered)) - hits, 0)
+            score = hits - 0.1 * extra_tokens
+            if score > best_score:
+                best = name
+                best_score = score
+        return best
+
+    def apply_conditions(self, source: int, conditions: str) -> int:
+        """Chain Basic/Llm filters for each condition clause onto ``source``."""
+        current = source
+        for clause in _split_clauses(conditions):
+            current = self._apply_clause(current, clause)
+        return current
+
+    def _apply_clause(self, source: int, clause: str) -> int:
+        clause = clause.strip()
+        if not clause or _is_dataset_noun_phrase(clause):
+            return source
+
+        range_match = _YEAR_RANGE_RE.search(clause)
+        year_field = self.field_of_kind("year", "date")
+        if range_match and year_field and self.supports("BasicFilter"):
+            low, high = sorted((int(range_match.group("a")), int(range_match.group("b"))))
+            source = self.add(
+                "BasicFilter",
+                f"Keep records with {year_field} >= {low}",
+                [source],
+                field=year_field,
+                op="ge",
+                value=low,
+            )
+            source = self.add(
+                "BasicFilter",
+                f"Keep records with {year_field} <= {high}",
+                [source],
+                field=year_field,
+                op="le",
+                value=high,
+            )
+            clause = _YEAR_RANGE_RE.sub(" ", clause)
+            clause = re.sub(r"\b(in|during|of)\s*$", "", clause.strip())
+            if not clause.strip() or _is_dataset_noun_phrase(clause):
+                return source
+
+        year_match = _YEAR_RE.search(clause)
+        if year_match and year_field and self.supports("BasicFilter"):
+            year = int(year_match.group(1))
+            value: Any = year
+            if "date" in year_field.lower() and "year" not in year_field.lower():
+                # Filter dates by string prefix on the ISO year.
+                source = self.add(
+                    "BasicFilter",
+                    f"Keep records whose {year_field} falls in {year}",
+                    [source],
+                    field=year_field,
+                    op="contains",
+                    value=str(year),
+                )
+            else:
+                source = self.add(
+                    "BasicFilter",
+                    f"Keep records with {year_field} = {year}",
+                    [source],
+                    field=year_field,
+                    op="eq",
+                    value=value,
+                )
+            clause = _YEAR_RE.sub(" ", clause)
+            clause = re.sub(r"\b(in|during|of)\s*$", "", clause.strip())
+            if not clause.strip() or _is_dataset_noun_phrase(clause):
+                return source
+
+        state = _state_in_clause(clause)
+        state_field = self.field_of_kind("state")
+        if state is not None and state_field and self.supports("BasicFilter"):
+            source = self.add(
+                "BasicFilter",
+                f"Keep records located in {state}",
+                [source],
+                field=state_field,
+                op="eq",
+                value=state,
+            )
+            clause = _strip_location(clause)
+            if not clause or _is_dataset_noun_phrase(clause):
+                return source
+
+        sector = _sector_in_clause(clause)
+        sector_field = self.field_of_kind("sector", "industry")
+        if sector is not None and sector_field and self.supports("BasicFilter"):
+            source = self.add(
+                "BasicFilter",
+                f"Keep records in the {sector} sector",
+                [source],
+                field=sector_field,
+                op="eq",
+                value=sector,
+            )
+            clause = _strip_sector(clause)
+            if not clause or _is_dataset_noun_phrase(clause):
+                return source
+
+        if self.supports("LlmFilter"):
+            return self.add(
+                "LlmFilter",
+                f"Semantically keep records that are {clause}",
+                [source],
+                condition=clause,
+            )
+        return source
+
+
+def _split_clauses(conditions: str) -> List[str]:
+    # "caused by wind in Alaska in 2023" -> condition + location + year.
+    text = conditions.strip().rstrip("?.")
+    clauses_first: List[str] = []
+    # Year ranges contain "and"; peel them whole before the and-split.
+    range_match = _YEAR_RANGE_RE.search(text)
+    if range_match is not None:
+        clauses_first.append(range_match.group(0))
+        text = (text[: range_match.start()] + " " + text[range_match.end():]).strip()
+        text = re.sub(r"\b(happened|occurred|took place|in|during)\s*$", "", text).strip()
+        if not text:
+            return clauses_first
+    parts = clauses_first + re.split(r"\s+and\s+|,\s*", text, flags=re.IGNORECASE)
+    clauses: List[str] = []
+    for part in parts:
+        if _YEAR_RANGE_RE.search(part):
+            # Keep year ranges intact; _apply_clause turns them into a
+            # ge/le filter pair.
+            clauses.append(part)
+            continue
+        # Peel trailing "in <year>" / "in <State>" into their own clauses.
+        year = _YEAR_RE.search(part)
+        state = _state_in_clause(part)
+        core = part
+        if year:
+            clauses.append(year.group(1))
+            core = core.replace(year.group(1), " ")
+            core = re.sub(r"\b(in|during)\s*$", " ", core.strip())
+        if state:
+            match = re.search(
+                r"\bin\s+((?:[A-Z][a-z]+)(?:\s+[A-Z][a-z]+)?)", core
+            )
+            if match:
+                clauses.append(f"in {match.group(1)}")
+                core = core.replace(match.group(0), " ")
+        core = core.strip()
+        if core:
+            clauses.append(core)
+    return clauses
+
+
+def _is_dataset_noun_phrase(clause: str) -> bool:
+    words = knowledge.normalize(clause).split()
+    meaningful = [w for w in words if w not in ("the", "all", "these", "those")]
+    return bool(meaningful) and all(w in _DATASET_NOUNS for w in meaningful)
+
+
+def _state_in_clause(clause: str) -> Optional[str]:
+    match = re.search(r"\bin\s+((?:[A-Z][a-z]+)(?:\s+[A-Z][a-z]+)?)", clause)
+    if match and match.group(1) in knowledge.US_STATES:
+        return knowledge.US_STATES[match.group(1)]
+    return None
+
+
+def _sector_in_clause(clause: str) -> Optional[str]:
+    match = re.search(r"\bin\s+the\s+([\w& -]+?)\s+(?:sector|market|industry)", clause, re.IGNORECASE)
+    if match:
+        return match.group(1).strip()
+    return None
+
+
+def _strip_location(clause: str) -> str:
+    """Remove an 'in <State>' phrase whose state was turned into a filter."""
+    stripped = re.sub(
+        r"\bin\s+(?:[A-Z][a-z]+)(?:\s+[A-Z][a-z]+)?\b", " ", clause, count=1
+    )
+    return " ".join(stripped.split())
+
+
+def _strip_sector(clause: str) -> str:
+    """Remove an 'in the <X> sector/market' phrase turned into a filter."""
+    stripped = re.sub(
+        r"\bin\s+the\s+[\w& -]+?\s+(?:sector|market|industry)\b",
+        " ",
+        clause,
+        count=1,
+        flags=re.IGNORECASE,
+    )
+    return " ".join(stripped.split())
+
+
+# ----------------------------------------------------------------------
+# Question templates
+# ----------------------------------------------------------------------
+
+
+def _try_percentage(question: str, builder: _PlanBuilder) -> bool:
+    match = _PERCENT_RE.search(question.strip())
+    if match is None:
+        return False
+    whole, part = match.group("whole"), match.group("part")
+    base = builder.scan()
+    denom_src = builder.apply_conditions(base, whole)
+    denom = builder.add("Count", "Count the matching records", [denom_src])
+    numer_src = builder.apply_conditions(denom_src, part)
+    numer = builder.add("Count", "Count the subset of interest", [numer_src])
+    builder.add(
+        "Math",
+        "Compute the percentage",
+        [denom, numer],
+        expression=f"100 * #{numer} / #{denom}",
+    )
+    return True
+
+
+def _try_count(question: str, builder: _PlanBuilder) -> bool:
+    match = _COUNT_RE.search(question)
+    if match is None:
+        return False
+    rest = match.group("rest")
+    rest = re.sub(
+        r"\b(caused by|due to|attributed to|involving|involved|that involved|"
+        r"that were|were|was|are|is|happened|occurred|took place)\b",
+        " ",
+        rest,
+        flags=re.IGNORECASE,
+    )
+    rest = " ".join(rest.split())
+    base = builder.scan()
+    filtered = builder.apply_conditions(base, rest)
+    builder.add("Count", "Count the matching records", [filtered])
+    return True
+
+
+def _try_top_group(question: str, builder: _PlanBuilder) -> bool:
+    match = _TOP_GROUP_RE.search(question)
+    if match is None:
+        return False
+    group_noun = match.group("group").lower()
+    direction = match.group("dir").lower()
+    rest = match.group("rest")
+    n_raw = (match.group("n") or "").strip().lower()
+    k = _NUMBER_WORDS.get(n_raw, int(n_raw) if n_raw.isdigit() else 1)
+    field = builder.field_of_kind(group_noun) or builder.field_of_kind(
+        group_noun.rstrip("s")
+    )
+    if field is None:
+        return False
+    base = builder.scan()
+    filtered = builder.apply_conditions(base, rest)
+    builder.add(
+        "TopK",
+        f"Find the top {k} {group_noun} by {direction} matching records",
+        [filtered],
+        field=field,
+        k=k,
+        descending=direction in ("most", "highest"),
+    )
+    return True
+
+
+def _try_aggregate(question: str, builder: _PlanBuilder) -> bool:
+    match = _AGG_RE.search(question)
+    if match is None:
+        return False
+    func = _FUNC_ALIASES.get(match.group("func").lower())
+    field_phrase = match.group("field").strip().lower()
+    rest = match.group("rest")
+    if func is None:
+        return False
+    group_by = None
+    group_match = _GROUP_BY_RE.search(rest)
+    if group_match is not None:
+        group_by = builder.field_of_kind(group_match.group("group").lower())
+        if group_by is not None:
+            rest = rest[: group_match.start()].strip()
+    field = builder.field_of_kind(*field_phrase.split())
+    if field is None:
+        return False
+    base = builder.scan()
+    filtered = builder.apply_conditions(base, rest)
+    params = {"func": func, "field": field}
+    description = f"Compute the {func} of {field} over the matching records"
+    if group_by is not None:
+        params["group_by"] = group_by
+        description += f", grouped by {group_by}"
+    builder.add("Aggregate", description, [filtered], **params)
+    return True
+
+
+def _try_summarize(question: str, builder: _PlanBuilder) -> bool:
+    match = _SUMMARIZE_RE.search(question)
+    if match is None:
+        return False
+    rest = match.group("rest")
+    rest = re.sub(
+        r"\b(involving|involved|about|regarding|related to|concerning)\b",
+        " ",
+        rest,
+        flags=re.IGNORECASE,
+    )
+    base = builder.scan()
+    filtered = builder.apply_conditions(base, rest)
+    builder.add("Summarize", "Summarize the matching records", [filtered])
+    return True
+
+
+_SUPERLATIVE_RE = re.compile(
+    r"^\s*(?:list|name|show|what are|which are)\s+the\s+"
+    r"(?P<sup>fastest growing|slowest growing|largest|biggest|smallest|top|"
+    r"most profitable|least profitable)\s+"
+    r"(?P<what>[\w\s]+?)(?P<ctx>\s+in\s+.+?)?\s*[.?]*\s*$",
+    re.IGNORECASE,
+)
+
+#: superlative -> (field keywords, descending order)
+_SUPERLATIVES = {
+    "fastest growing": (("growth",), True),
+    "slowest growing": (("growth",), False),
+    "largest": (("revenue", "size", "total"), True),
+    "biggest": (("revenue", "size", "total"), True),
+    "smallest": (("revenue", "size", "total"), False),
+    "top": (("revenue", "growth"), True),
+    "most profitable": (("eps", "profit", "income"), True),
+    "least profitable": (("eps", "profit", "income"), False),
+}
+
+
+def _try_superlative_list(question: str, builder: _PlanBuilder, k: int = 5) -> bool:
+    """"List the fastest growing companies in the BNPL market" (paper §1)."""
+    match = _SUPERLATIVE_RE.match(question)
+    if match is None:
+        return False
+    keywords, descending = _SUPERLATIVES[match.group("sup").lower()]
+    rank_field = builder.field_of_kind(*keywords)
+    name_field = builder.field_of_kind("company", "name", "title", "id")
+    if rank_field is None or name_field is None:
+        return False
+    base = builder.scan()
+    filtered = base
+    context_phrase = match.group("ctx") or ""
+    if context_phrase.strip():
+        filtered = builder.apply_conditions(base, context_phrase.strip())
+    ordered = builder.add(
+        "Sort",
+        f"Order by {rank_field} ({'descending' if descending else 'ascending'})",
+        [filtered],
+        field=rank_field,
+        descending=descending,
+    )
+    limited = builder.add("Limit", f"Keep the top {k}", [ordered], k=k)
+    builder.add(
+        "Project",
+        f"List the {name_field} of the top records",
+        [limited],
+        fields=[name_field],
+    )
+    return True
+
+
+def _try_list(question: str, builder: _PlanBuilder) -> bool:
+    match = _LIST_RE.search(question)
+    if match is None:
+        return False
+    what = match.group("what").strip().lower()
+    rest = match.group("rest")
+    # "companies whose CEO recently changed" -> project the name field.
+    target_field = None
+    for noun in what.split():
+        noun = noun.rstrip("s")
+        if noun in _DATASET_NOUNS or noun in ("company", "incident"):
+            target_field = builder.field_of_kind("name", "company", "title", "id")
+            break
+        candidate = builder.field_of_kind(noun)
+        if candidate:
+            target_field = candidate
+            break
+    if target_field is None:
+        target_field = builder.field_of_kind("name", "company", "title", "id")
+    if target_field is None:
+        return False
+    base = builder.scan()
+    filtered = builder.apply_conditions(base, rest)
+    builder.add(
+        "Project",
+        f"List the {target_field} of the matching records",
+        [filtered],
+        fields=[target_field],
+    )
+    return True
+
+
+def _fallback_rag(question: str, builder: _PlanBuilder) -> None:
+    """Point questions fall back to retrieve-and-summarize."""
+    base = builder.scan(query=question)
+    top = builder.add("Limit", "Keep the most relevant records", [base], k=5)
+    builder.add(
+        "Summarize",
+        "Answer from the retrieved records",
+        [top],
+        question=question,
+    )
+
+
+# ----------------------------------------------------------------------
+# Planner noise
+# ----------------------------------------------------------------------
+
+
+def _maybe_misplan(plan: List[Dict[str, Any]], noise: Noise) -> List[Dict[str, Any]]:
+    """Inject a planner slip: drop a filter or garble a condition.
+
+    Weight is low — planner prompts are few and high-stakes, and the paper
+    attributes Luna's misses mostly to *ambiguity*, which the template
+    parser reproduces structurally, not to random noise.
+    """
+    if not noise.slips(0.3):
+        return plan
+    filters = [i for i, n in enumerate(plan) if n["operation"] in ("LlmFilter", "BasicFilter")]
+    if not filters:
+        return plan
+    victim = noise.choice(filters)
+    node = plan[victim]
+    if node["operation"] == "LlmFilter" and not noise.slips(0.5):
+        # Over-generalize the condition (wind -> weather), a classic
+        # misreading of user intent.
+        concepts = knowledge.match_concepts(node.get("condition", ""))
+        if "wind" in concepts:
+            node = dict(node, condition="caused by weather")
+            plan = plan[:victim] + [node] + plan[victim + 1 :]
+            return plan
+    # Drop the filter entirely, splicing its input through to consumers.
+    source = node["inputs"][0] if node["inputs"] else None
+    if source is None:
+        return plan
+    new_plan = []
+    for i, n in enumerate(plan):
+        if i == victim:
+            new_plan.append(dict(n, operation="Identity", description="(no-op)"))
+            continue
+        new_plan.append(dict(n, inputs=[source if j == victim else j for j in n["inputs"]]))
+    return new_plan

@@ -1,0 +1,147 @@
+"""The ``answer_question`` skill: grounded QA over retrieved context.
+
+This backs the RAG baseline's generation step. Crucially, it is *honest*
+about grounding: the answer is synthesised only from the supplied context
+passages. That is exactly why the RAG baseline fails on sweep-and-harvest
+questions in the C1/C2 benchmarks — when the relevant facts are not in
+the retrieved snippets, no amount of generation can recover them, which
+is the paper's central argument (§2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from .. import knowledge
+from .common import Noise
+from .summarize import summarize_text
+
+_DONT_KNOW = "I do not know based on the provided context."
+
+
+def run_answer_question(sections: Dict[str, str], noise: Noise) -> str:
+    """Answer the question from the provided context only."""
+    question = sections.get("question", "")
+    context = sections.get("context", "")
+    passages = [p.strip() for p in context.split("\n---\n") if p.strip()]
+    if not passages:
+        return _DONT_KNOW
+
+    answer = _answer(question, passages)
+    if answer is None:
+        return _DONT_KNOW
+    if noise.slips(0.4):
+        answer = _degrade_answer(answer, passages, noise)
+    return answer
+
+
+def _answer(question: str, passages: List[str]) -> Optional[str]:
+    norm_q = knowledge.normalize(question)
+    joined = "\n".join(passages)
+
+    if _is_counting_question(norm_q):
+        # A grounded model can only count what it can see: the number of
+        # matching retrieved passages. This under-counts whenever the
+        # corpus has more matches than the retriever returned.
+        concepts = knowledge.match_concepts(question)
+        if concepts:
+            matches = sum(
+                1
+                for p in passages
+                if all(knowledge.text_matches_concept(p, c) for c in concepts)
+            )
+        else:
+            matches = sum(
+                1 for p in passages if knowledge.condition_holds(question, p)
+            )
+        return str(matches)
+
+    if _is_percentage_question(norm_q):
+        parts = _split_percentage_question(question)
+        if parts is not None:
+            whole_cond, part_cond = parts
+            if knowledge.match_concepts(whole_cond):
+                whole = [p for p in passages if knowledge.condition_holds(whole_cond, p)]
+            else:
+                # "percent of incidents ..." — the whole is the dataset.
+                whole = list(passages)
+            part = [p for p in whole if knowledge.condition_holds(part_cond, p)]
+            if not whole:
+                return None
+            return f"{100.0 * len(part) / len(whole):.1f}%"
+
+    if norm_q.startswith(("which state", "what state")):
+        counts: Dict[str, int] = {}
+        for passage in passages:
+            state = knowledge.find_state(passage)
+            if state is not None:
+                counts[state] = counts.get(state, 0) + 1
+        if counts:
+            return max(sorted(counts), key=lambda s: counts[s])
+        return None
+
+    # Point lookup: find the passage most relevant to the question and
+    # extract the sentence that best covers the question's content words.
+    best = _most_relevant_passage(norm_q, passages)
+    if best is None:
+        return None
+    sentence = _best_sentence(norm_q, best)
+    if sentence is None:
+        return summarize_text(best, max_sentences=1) or None
+    return sentence
+
+
+def _is_counting_question(norm_q: str) -> bool:
+    return norm_q.startswith("how many") or " number of " in f" {norm_q} "
+
+
+def _is_percentage_question(norm_q: str) -> bool:
+    return "percent" in norm_q or "%" in norm_q
+
+
+def _split_percentage_question(question: str) -> Optional[tuple]:
+    match = re.search(
+        r"percent(?:age)?\s+of\s+(.+?)\s+(?:were|are|was|is)\s+(.+?)\??$",
+        question,
+        re.IGNORECASE,
+    )
+    if match is None:
+        return None
+    return match.group(1), match.group(2)
+
+
+def _most_relevant_passage(norm_q: str, passages: List[str]) -> Optional[str]:
+    q_words = set(norm_q.split())
+    best, best_score = None, 0
+    for passage in passages:
+        p_words = set(knowledge.normalize(passage).split())
+        score = len(q_words & p_words)
+        if score > best_score:
+            best, best_score = passage, score
+    return best
+
+
+def _best_sentence(norm_q: str, passage: str) -> Optional[str]:
+    q_words = {w for w in norm_q.split() if len(w) > 3}
+    best, best_score = None, 0
+    for sentence in re.split(r"(?<=[.!?])\s+", passage):
+        s_words = set(knowledge.normalize(sentence).split())
+        score = len(q_words & s_words)
+        if score > best_score:
+            best, best_score = sentence.strip(), score
+    return best
+
+
+def _degrade_answer(answer: str, passages: List[str], noise: Noise) -> str:
+    """A slipping model garbles numbers or drifts off-passage."""
+    number = re.search(r"-?\d+(?:\.\d+)?", answer)
+    if number is not None:
+        wrong = float(number.group()) + noise.choice([-2, -1, 1, 2])
+        if wrong == int(wrong):
+            wrong_text = str(int(wrong))
+        else:
+            wrong_text = f"{wrong:.1f}"
+        return answer[: number.start()] + wrong_text + answer[number.end() :]
+    other = noise.choice(passages)
+    return summarize_text(other, max_sentences=1) or answer

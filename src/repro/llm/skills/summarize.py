@@ -1,0 +1,91 @@
+"""Summarization skills: single-document and collection-level.
+
+The simulated summarizer is extractive: it scores sentences by content
+density (numbers, domain keywords, position) and returns the top ones in
+document order. Collection summarization concatenates per-document key
+sentences and prefixes a coverage line, which keeps the output auditable
+— a grader can check that the facts in the summary exist in the input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .. import knowledge
+from .common import Noise
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+_KEY_TERMS = frozenset(
+    kw
+    for keywords in knowledge.CONCEPT_KEYWORDS.values()
+    for kw in keywords
+    if " " not in kw
+)
+
+
+def _split_sentences(text: str) -> List[str]:
+    flat = " ".join(text.split())
+    if not flat:
+        return []
+    return [s.strip() for s in _SENTENCE_RE.split(flat) if s.strip()]
+
+
+def _score_sentence(sentence: str, position: int, total: int) -> float:
+    words = knowledge.normalize(sentence).split()
+    if not words:
+        return 0.0
+    keyword_hits = sum(1 for w in words if w in _KEY_TERMS)
+    has_number = 1.0 if re.search(r"\d", sentence) else 0.0
+    # Lead bias: openers usually carry the thesis of a report section.
+    lead_bonus = 1.0 - (position / max(total, 1)) * 0.5
+    return keyword_hits * 2.0 + has_number + lead_bonus
+
+
+def summarize_text(text: str, max_sentences: int = 3) -> str:
+    """Deterministic extractive summary of ``text``."""
+    sentences = _split_sentences(text)
+    if not sentences:
+        return ""
+    scored = sorted(
+        range(len(sentences)),
+        key=lambda i: _score_sentence(sentences[i], i, len(sentences)),
+        reverse=True,
+    )
+    chosen = sorted(scored[:max_sentences])
+    return " ".join(sentences[i] for i in chosen)
+
+
+def run_summarize(sections: Dict[str, str], noise: Noise) -> str:
+    """Extractive summary of one document."""
+    document = sections.get("document", "")
+    max_sentences = _parse_max_sentences(sections, default=3)
+    summary = summarize_text(document, max_sentences=max_sentences)
+    if noise.slips(0.3) and summary:
+        # A sloppy model over-compresses, losing tail facts.
+        summary = _split_sentences(summary)[0]
+    return summary
+
+
+def run_summarize_collection(sections: Dict[str, str], noise: Noise) -> str:
+    """Per-document synthesis across a document collection."""
+    documents = sections.get("documents", "")
+    parts = [p.strip() for p in documents.split("\n---\n") if p.strip()]
+    max_sentences = _parse_max_sentences(sections, default=1)
+    lines = [f"Synthesis of {len(parts)} documents:"]
+    for part in parts:
+        summary = summarize_text(part, max_sentences=max_sentences)
+        if summary:
+            lines.append(f"- {summary}")
+    if noise.slips(0.3) and len(lines) > 2:
+        # A sloppy model silently drops a source from the synthesis.
+        lines.pop(noise.rng.randrange(1, len(lines)))
+    return "\n".join(lines)
+
+
+def _parse_max_sentences(sections: Dict[str, str], default: int) -> int:
+    raw = sections.get("max_sentences", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return default

@@ -1,0 +1,50 @@
+"""Deterministic approximate token counting.
+
+Hosted models meter usage in tokens; the cost model (C4 optimizer bench)
+and the context-window limits (C1 RAG-scaling bench) both need a stable
+token count. We use the standard ~4-characters-per-token approximation,
+refined by word boundaries, which tracks BPE tokenizers closely enough
+for relative comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Average characters per token for English prose under BPE tokenizers.
+CHARS_PER_TOKEN = 4.0
+
+
+def count_tokens(text: str) -> int:
+    """Approximate token count of ``text``.
+
+    Uses max(words, chars/4): short texts with many small words tokenize
+    near one token per word; long prose approaches the character ratio.
+    Empty text counts as zero tokens.
+    """
+    if not text:
+        return 0
+    words = len(text.split())
+    by_chars = math.ceil(len(text) / CHARS_PER_TOKEN)
+    return max(words, by_chars)
+
+
+def truncate_to_tokens(text: str, max_tokens: int) -> str:
+    """Longest prefix of ``text`` whose token count is <= ``max_tokens``.
+
+    Truncation happens on word boundaries so downstream keyword matching
+    never sees half a word.
+    """
+    if max_tokens <= 0:
+        return ""
+    if count_tokens(text) <= max_tokens:
+        return text
+    words = text.split()
+    lo, hi = 0, len(words)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if count_tokens(" ".join(words[:mid])) <= max_tokens:
+            lo = mid
+        else:
+            hi = mid - 1
+    return " ".join(words[:lo])

@@ -1,0 +1,54 @@
+"""Plan diffing: what did the optimizer (or the user) change?
+
+The paper's human-in-the-loop design has users inspect and modify plans;
+a readable diff between two plan versions — planner output vs optimized,
+or planner output vs user-edited — is the inspection primitive. Plans
+keep stable node count and indexes through optimization (rewrites swap
+node contents in place), so the diff is positional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .operators import LogicalPlan, PlanNode
+
+
+def diff_plans(before: LogicalPlan, after: LogicalPlan) -> List[str]:
+    """Human-readable, per-node differences between two plans.
+
+    Returns one line per changed aspect; an empty list means the plans
+    are operationally identical (descriptions are ignored — they are
+    narration, not semantics).
+    """
+    lines: List[str] = []
+    common = min(len(before.nodes), len(after.nodes))
+    for index in range(common):
+        lines.extend(_diff_node(index, before.nodes[index], after.nodes[index]))
+    for index in range(common, len(before.nodes)):
+        lines.append(f"node {index}: removed {before.nodes[index].operation}")
+    for index in range(common, len(after.nodes)):
+        node = after.nodes[index]
+        lines.append(f"node {index}: added {node.operation} {_param_text(node.params)}")
+    return lines
+
+
+def _diff_node(index: int, before: PlanNode, after: PlanNode) -> List[str]:
+    lines = []
+    if before.operation != after.operation:
+        lines.append(
+            f"node {index}: operation {before.operation} -> {after.operation}"
+        )
+    if before.inputs != after.inputs:
+        lines.append(f"node {index}: inputs {before.inputs} -> {after.inputs}")
+    keys = set(before.params) | set(after.params)
+    for key in sorted(keys):
+        old = before.params.get(key, "<unset>")
+        new = after.params.get(key, "<unset>")
+        if old != new:
+            lines.append(f"node {index}: {key} {old!r} -> {new!r}")
+    return lines
+
+
+def _param_text(params: Dict[str, Any]) -> str:
+    return "{" + ", ".join(f"{k}={v!r}" for k, v in sorted(params.items())) + "}"

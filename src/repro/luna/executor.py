@@ -1,0 +1,346 @@
+"""Luna plan execution with per-operator tracing.
+
+"Query plans are translated into Sycamore code in Python. Execution on
+large datasets benefits from distributed processing" (§6.1). Here each
+operator is interpreted over document lists, with per-record LLM
+operators dispatched through the Sycamore execution engine so they
+parallelize and retry exactly like hand-written DocSet pipelines.
+
+Every node's execution is traced — operation, inputs, record counts,
+duration, and LLM spend — giving the "detailed trace of how the answer
+was computed" the paper's explainability tenet requires.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..docmodel.document import Document
+from ..execution.plan import Plan
+from ..sycamore import aggregates
+from ..sycamore.context import SycamoreContext
+from ..sycamore.llm_transforms import (
+    make_extract_properties_fn,
+    make_llm_filter_fn,
+    summarize_collection,
+)
+from . import mathops
+from .operators import LogicalPlan, PlanNode, PlanValidationError
+
+
+class PlanExecutionError(RuntimeError):
+    """A plan node failed at execution time."""
+
+
+@dataclass
+class TraceEntry:
+    """Execution record for one plan node."""
+
+    index: int
+    operation: str
+    description: str
+    records_in: int
+    records_out: int
+    duration_s: float
+    llm_cost_usd: float
+    llm_calls: int
+    result_preview: str
+    #: Ids of the documents this node emitted (capped) — the provenance
+    #: trail from an answer back to its sources.
+    document_ids: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render a human-readable text view."""
+        return (
+            f"[{self.index}] {self.operation}: {self.description} | "
+            f"in={self.records_in} out={self.records_out} "
+            f"time={self.duration_s:.3f}s llm_calls={self.llm_calls} "
+            f"cost=${self.llm_cost_usd:.4f} -> {self.result_preview}"
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """Trace of a full plan execution, in node order."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render a human-readable text view."""
+        return "\n".join(entry.render() for entry in self.entries)
+
+    def total_cost_usd(self) -> float:
+        """Sum of dollar costs across entries."""
+        return sum(entry.llm_cost_usd for entry in self.entries)
+
+    def total_llm_calls(self) -> int:
+        """Sum of LLM calls across entries."""
+        return sum(entry.llm_calls for entry in self.entries)
+
+    def supporting_documents(self) -> List[str]:
+        """Ids of the documents behind the answer: the output of the last
+        node that emitted a document set (the paper's provenance tenet)."""
+        for entry in reversed(self.entries):
+            if entry.document_ids:
+                return list(entry.document_ids)
+        return []
+
+
+class LunaExecutor:
+    """Interprets validated logical plans against the context's catalog."""
+
+    def __init__(self, context: SycamoreContext):
+        self.context = context
+
+    def execute(self, plan: LogicalPlan) -> "tuple[Any, ExecutionTrace]":
+        """Run the plan; returns (final answer, trace)."""
+        plan.validate()
+        results: Dict[int, Any] = {}
+        trace = ExecutionTrace()
+        for index, node in enumerate(plan.nodes):
+            inputs = [results[i] for i in node.inputs]
+            before = self.context.cost_tracker.summary()
+            start = time.perf_counter()
+            try:
+                output = self._run_node(node, inputs, results)
+            except (PlanValidationError, mathops.MathEvaluationError) as exc:
+                raise PlanExecutionError(f"node {index} ({node.operation}): {exc}") from exc
+            duration = time.perf_counter() - start
+            after = self.context.cost_tracker.summary()
+            results[index] = output
+            trace.entries.append(
+                TraceEntry(
+                    index=index,
+                    operation=node.operation,
+                    description=node.description,
+                    records_in=_count_records(inputs[0]) if inputs else 0,
+                    records_out=_count_records(output),
+                    duration_s=duration,
+                    llm_cost_usd=after.cost_usd - before.cost_usd,
+                    llm_calls=after.calls - before.calls,
+                    result_preview=_preview(output),
+                    document_ids=_document_ids(output),
+                )
+            )
+        return results[plan.result_node()], trace
+
+    # ------------------------------------------------------------------
+
+    def _run_node(self, node: PlanNode, inputs: List[Any], results: Dict[int, Any]) -> Any:
+        handler = getattr(self, f"_op_{node.operation.lower()}", None)
+        if handler is None:
+            raise PlanValidationError(f"no executor for operation {node.operation!r}")
+        return handler(node, inputs, results)
+
+    # Each handler takes (node, inputs, all_results) and returns the value.
+
+    def _op_queryindex(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        index = self.context.catalog.get(str(node.params["index"]))
+        query = node.params.get("query")
+        if query:
+            k = int(node.params.get("k", 20))
+            return index.search_hybrid(str(query), k=k)
+        return index.all_documents()
+
+    def _op_fromdocuments(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        index = self.context.catalog.get(str(node.params["index"]))
+        doc_ids = [str(d) for d in node.params.get("doc_ids", [])]
+        return index.docstore.get_many(doc_ids)
+
+    def _op_basicfilter(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        field_name = str(node.params["field"])
+        op = str(node.params["op"])
+        value = node.params["value"]
+        get = aggregates.property_getter(field_name)
+        compare = _comparator(op)
+        kept = []
+        for document in documents:
+            actual = get(document)
+            if actual is None:
+                continue
+            try:
+                if compare(actual, value):
+                    kept.append(document)
+            except TypeError:
+                continue
+        return kept
+
+    def _op_llmfilter(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        predicate = make_llm_filter_fn(
+            self.context,
+            condition=str(node.params["condition"]),
+            model=node.params.get("model"),
+        )
+        plan = Plan.from_items(documents).filter(predicate, name="luna_llm_filter")
+        return self.context.executor().take_all(plan)
+
+    def _op_llmextract(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        field_name = str(node.params["field"])
+        field_type = str(node.params.get("type", "string"))
+        fn = make_extract_properties_fn(
+            self.context, {field_name: field_type}, model=node.params.get("model")
+        )
+        plan = Plan.from_items(documents).map(fn, name="luna_llm_extract")
+        return self.context.executor().take_all(plan)
+
+    def _op_count(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> int:
+        return len(_require_documents(node, inputs[0]))
+
+    def _op_aggregate(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> Any:
+        documents = _require_documents(node, inputs[0])
+        func = str(node.params["func"])
+        field_name = str(node.params["field"])
+        group_by = node.params.get("group_by")
+        if group_by:
+            return aggregates.grouped_aggregate(documents, func, field_name, str(group_by))
+        return aggregates.aggregate_field(documents, func, field_name)
+
+    def _op_topk(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[tuple]:
+        documents = _require_documents(node, inputs[0])
+        return aggregates.top_k_values(
+            documents,
+            str(node.params["field"]),
+            k=int(node.params.get("k", 1)),
+            descending=bool(node.params.get("descending", True)),
+        )
+
+    def _op_sort(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        return aggregates.sort_documents(
+            documents,
+            str(node.params["field"]),
+            descending=bool(node.params.get("descending", False)),
+        )
+
+    def _op_limit(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        return documents[: int(node.params["k"])]
+
+    def _op_distinct(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        documents = _require_documents(node, inputs[0])
+        get = aggregates.property_getter(str(node.params["field"]))
+        seen = set()
+        kept = []
+        for document in documents:
+            value = get(document)
+            try:
+                key = value if not isinstance(value, list) else tuple(value)
+                hash(key)
+            except TypeError:
+                key = str(value)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(document)
+        return kept
+
+    def _op_project(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Any]:
+        documents = _require_documents(node, inputs[0])
+        fields = node.params["fields"]
+        if isinstance(fields, str):
+            fields = [fields]
+        getters = [aggregates.property_getter(str(f)) for f in fields]
+        if len(getters) == 1:
+            return [getters[0](d) for d in documents]
+        return [tuple(get(d) for get in getters) for d in documents]
+
+    def _op_join(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
+        left = _require_documents(node, inputs[0])
+        right = _require_documents(node, inputs[1])
+        return aggregates.hash_join(
+            left,
+            right,
+            str(node.params["left_on"]),
+            str(node.params["right_on"]),
+            how=str(node.params.get("how", "inner")),
+        )
+
+    def _op_math(self, node: PlanNode, inputs: List[Any], results: Dict[int, Any]) -> float:
+        expression = str(node.params["expression"])
+        values: Dict[int, float] = {}
+        for reference in mathops.referenced_nodes(expression):
+            if reference not in results:
+                raise mathops.MathEvaluationError(
+                    f"expression references unevaluated node #{reference}"
+                )
+            values[reference] = _as_number(results[reference])
+        return mathops.evaluate(expression, values)
+
+    def _op_summarize(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> str:
+        documents = _require_documents(node, inputs[0])
+        if not documents:
+            return "No matching records."
+        return summarize_collection(
+            self.context,
+            documents,
+            model=node.params.get("model"),
+            question=node.params.get("question"),
+        )
+
+    def _op_identity(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> Any:
+        return inputs[0]
+
+
+# ----------------------------------------------------------------------
+
+
+def _require_documents(node: PlanNode, value: Any) -> List[Document]:
+    if isinstance(value, list) and all(isinstance(v, Document) for v in value):
+        return value
+    raise PlanValidationError(
+        f"{node.operation} expects a document set input, got {type(value).__name__}"
+    )
+
+
+def _comparator(op: str):
+    comparators = {
+        "eq": lambda a, b: a == b,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "contains": lambda a, b: str(b).lower() in str(a).lower(),
+    }
+    if op not in comparators:
+        raise PlanValidationError(f"unknown comparison operator {op!r}")
+    return comparators[op]
+
+
+def _as_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(int(value))
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise mathops.MathEvaluationError(
+        f"node result {value!r} is not numeric"
+    )
+
+
+def _document_ids(value: Any, cap: int = 50) -> List[str]:
+    if isinstance(value, list) and value and isinstance(value[0], Document):
+        return [d.doc_id for d in value[:cap]]
+    return []
+
+
+def _count_records(value: Any) -> int:
+    if isinstance(value, list):
+        return len(value)
+    return 1
+
+
+def _preview(value: Any, limit: int = 80) -> str:
+    if isinstance(value, list):
+        if value and isinstance(value[0], Document):
+            return f"{len(value)} documents"
+        text = repr(value)
+    elif isinstance(value, float):
+        text = f"{value:.4f}"
+    else:
+        text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -1,0 +1,96 @@
+"""Query execution history.
+
+"Luna solves this by exposing a logical query execution plan, data
+lineage, and execution history for all queries" (§6). The history is an
+append-only log of :class:`~repro.luna.luna.LunaResult` records with a
+render view, search, and *replay*: re-running a past query's exact
+(possibly user-edited) plan against the current data — the quick
+iteration loop the paper's interactive tenet calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:
+    from .luna import Luna, LunaResult
+
+
+@dataclass
+class HistoryEntry:
+    """One recorded query execution."""
+
+    sequence: int
+    result: "LunaResult"
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        answer = repr(self.result.answer)
+        if len(answer) > 48:
+            answer = answer[:45] + "..."
+        return (
+            f"#{self.sequence} [{self.result.index}] {self.result.question} "
+            f"-> {answer} (${self.result.trace.total_cost_usd():.4f}, "
+            f"{self.result.trace.total_llm_calls()} LLM calls)"
+        )
+
+
+class QueryHistory:
+    """Append-only log of executed Luna queries."""
+
+    def __init__(self) -> None:
+        self._entries: List[HistoryEntry] = []
+
+    def record(self, result: "LunaResult") -> HistoryEntry:
+        """Append one entry."""
+        entry = HistoryEntry(sequence=len(self._entries), result=result)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, index: Optional[str] = None) -> List[HistoryEntry]:
+        """All entries, optionally filtered to one data index."""
+        if index is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.result.index == index]
+
+    def get(self, sequence: int) -> HistoryEntry:
+        """Fetch by id (None/KeyError when absent, per container)."""
+        if not 0 <= sequence < len(self._entries):
+            raise IndexError(f"no history entry #{sequence}")
+        return self._entries[sequence]
+
+    def last(self) -> Optional[HistoryEntry]:
+        """The most recent entry, or None."""
+        return self._entries[-1] if self._entries else None
+
+    def search(self, text: str) -> List[HistoryEntry]:
+        """Entries whose question mentions ``text`` (case-insensitive)."""
+        lowered = text.lower()
+        return [e for e in self._entries if lowered in e.result.question.lower()]
+
+    def total_cost_usd(self) -> float:
+        """Sum of dollar costs across entries."""
+        return sum(e.result.trace.total_cost_usd() for e in self._entries)
+
+    def render(self, index: Optional[str] = None) -> str:
+        """Render a human-readable text view."""
+        entries = self.entries(index)
+        if not entries:
+            return "(no queries recorded)"
+        return "\n".join(e.summary() for e in entries)
+
+    def replay(self, sequence: int, luna: "Luna") -> "LunaResult":
+        """Re-execute a past query's exact plan against current data.
+
+        The recorded *pre-optimization* plan is reused (including any
+        human edits it carried), so replay reflects data changes, not
+        planner drift.
+        """
+        entry = self.get(sequence)
+        return luna.execute_plan(
+            entry.result.question, entry.result.index, entry.result.plan.copy()
+        )

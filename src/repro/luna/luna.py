@@ -1,0 +1,229 @@
+"""The Luna facade: natural-language analytics with a human in the loop.
+
+The top-level query flow of §6: plan (LLM) -> optimize -> translate to
+Sycamore code -> execute with tracing. Every intermediate artefact — the
+raw plan, the optimized plan, the optimization log, the generated code,
+the per-operator trace — is kept on the :class:`LunaResult`, because the
+paper's central design argument is that users must be able to inspect,
+trust, and *correct* what the system did.
+
+Human-in-the-loop editing goes through :class:`LunaSession`: plan first,
+let the user inspect/modify nodes, then execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sycamore.context import SycamoreContext
+from .codegen import generate_code
+from .executor import ExecutionTrace, LunaExecutor
+from .operators import LogicalPlan, PlanNode
+from .optimizer import BALANCED_POLICY, LunaOptimizer, OptimizerPolicy, POLICIES
+from .history import QueryHistory
+from .planner import LunaPlanner
+
+
+@dataclass
+class LunaResult:
+    """Everything produced by one Luna query."""
+
+    question: str
+    index: str
+    plan: LogicalPlan
+    optimized_plan: LogicalPlan
+    optimization_log: List[str]
+    code: str
+    answer: Any
+    trace: ExecutionTrace
+
+    def explain(self) -> str:
+        """A full, auditable account of how the answer was computed."""
+        parts = [
+            f"Question: {self.question}",
+            f"Index: {self.index}",
+            "",
+            "Plan:",
+            self.optimized_plan.to_natural_language(),
+            "",
+            "Generated Sycamore code:",
+            self.code,
+            "",
+            "Execution trace:",
+            self.trace.render(),
+            "",
+            f"Answer: {self.answer!r}",
+            f"Total LLM calls: {self.trace.total_llm_calls()}  "
+            f"cost: ${self.trace.total_cost_usd():.4f}",
+        ]
+        if self.optimization_log:
+            parts.insert(5, "")
+            parts.insert(6, "Optimizations applied:")
+            parts.insert(7, "\n".join(f"  - {line}" for line in self.optimization_log))
+        return "\n".join(parts)
+
+
+class Luna:
+    """LLM-powered unstructured analytics over a Sycamore context.
+
+    ``policy`` selects the optimizer's cost/quality point ("quality",
+    "balanced", or "cost" — or a custom :class:`OptimizerPolicy`).
+    """
+
+    def __init__(
+        self,
+        context: SycamoreContext,
+        planner_model: str = "sim-large",
+        policy: "OptimizerPolicy | str" = BALANCED_POLICY,
+    ):
+        self.context = context
+        self.planner = LunaPlanner(context.llm, model=planner_model)
+        if isinstance(policy, str):
+            try:
+                policy = POLICIES[policy]
+            except KeyError:
+                raise ValueError(
+                    f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
+                ) from None
+        self.optimizer = LunaOptimizer(policy)
+        self.executor = LunaExecutor(context)
+        self.history = QueryHistory()
+
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        question: str,
+        index: str,
+        secondary_indexes: "tuple | list" = (),
+    ) -> LunaResult:
+        """Plan, optimize and execute a natural-language question.
+
+        ``secondary_indexes`` names additional catalog indexes the
+        planner may join against — the data-integration pattern of §1
+        ("the competitive information may involve a lookup in a
+        database").
+        """
+        session = self.session(question, index, secondary_indexes)
+        return session.run()
+
+    def session(
+        self,
+        question: str,
+        index: str,
+        secondary_indexes: "tuple | list" = (),
+    ) -> "LunaSession":
+        """Start an inspect-before-run session (human-in-the-loop)."""
+        named_index = self.context.catalog.get(index)
+        secondary = [self.context.catalog.get(name) for name in secondary_indexes]
+        plan = self.planner.plan(question, named_index, secondary=secondary)
+        return LunaSession(
+            luna=self, question=question, index=index, plan=plan
+        )
+
+    def follow_up(self, question: str) -> LunaResult:
+        """Ask a question *about the previous answer's documents* (§6.1).
+
+        The iterative-refinement loop: "of those, how many were in
+        Alaska?" plans like a normal question, but its source node is
+        replaced by the supporting documents of the last recorded query —
+        so filters compose across turns. Requires a prior query whose
+        trace carries document provenance.
+        """
+        last = self.history.last()
+        if last is None:
+            raise ValueError("no previous query to follow up on")
+        doc_ids = last.result.trace.supporting_documents()
+        if not doc_ids:
+            raise ValueError(
+                "the previous answer has no document provenance to follow up on"
+            )
+        index = last.result.index
+        named_index = self.context.catalog.get(index)
+        plan = self.planner.plan(question, named_index)
+        for node in plan.nodes:
+            if node.operation == "QueryIndex":
+                node.operation = "FromDocuments"
+                node.params = {"index": index, "doc_ids": list(doc_ids)}
+                node.description = (
+                    f"Start from the {len(doc_ids)} records of the previous answer"
+                )
+        plan.validate()
+        return self.execute_plan(question, index, plan)
+
+    def execute_plan(self, question: str, index: str, plan: LogicalPlan) -> LunaResult:
+        """Optimize and execute an explicit plan (bypassing the planner)."""
+        named_index = self.context.catalog.get(index)
+        optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
+        code = generate_code(optimized)
+        answer, trace = self.executor.execute(optimized)
+        result = LunaResult(
+            question=question,
+            index=index,
+            plan=plan,
+            optimized_plan=optimized,
+            optimization_log=log,
+            code=code,
+            answer=answer,
+            trace=trace,
+        )
+        self.history.record(result)
+        return result
+
+
+@dataclass
+class LunaSession:
+    """A planned-but-not-executed query the user can inspect and edit.
+
+    "The inability to correct or refine a query causes significant
+    difficulty... users have full control over how their query is
+    answered" (§6.1). Edits operate on plan nodes by index.
+    """
+
+    luna: Luna
+    question: str
+    index: str
+    plan: LogicalPlan
+
+    def show_plan(self) -> str:
+        """The plan narrated step by step."""
+        return self.plan.to_natural_language()
+
+    def set_param(self, node_index: int, name: str, value: Any) -> "LunaSession":
+        """Override one parameter of one plan node (e.g. fix a condition)."""
+        node = self._node(node_index)
+        node.params[name] = value
+        node.description = f"{node.description} [edited: {name}={value!r}]"
+        return self
+
+    def replace_node(self, node_index: int, replacement: Dict[str, Any]) -> "LunaSession":
+        """Swap a whole node, keeping its position and inputs by default."""
+        node = self._node(node_index)
+        new_node = PlanNode.from_dict(replacement)
+        if not new_node.inputs:
+            new_node.inputs = list(node.inputs)
+        self.plan.nodes[node_index] = new_node
+        return self
+
+    def remove_filter(self, node_index: int) -> "LunaSession":
+        """Neutralize a filter node the planner added by mistake."""
+        node = self._node(node_index)
+        self.plan.nodes[node_index] = PlanNode(
+            operation="Identity",
+            inputs=list(node.inputs),
+            description=f"(removed: {node.description})",
+        )
+        return self
+
+    def run(self) -> LunaResult:
+        """Execute the (possibly edited) plan and return the result."""
+        self.plan.validate()
+        return self.luna.execute_plan(self.question, self.index, self.plan)
+
+    def _node(self, node_index: int) -> PlanNode:
+        if not 0 <= node_index < len(self.plan.nodes):
+            raise IndexError(
+                f"plan has {len(self.plan.nodes)} nodes; no node {node_index}"
+            )
+        return self.plan.nodes[node_index]

@@ -1,0 +1,5 @@
+"""RAG baseline (the architecture §2 argues is insufficient for analytics)."""
+
+from .pipeline import RagAnswer, RagPipeline, RetrievalMode
+
+__all__ = ["RagAnswer", "RagPipeline", "RetrievalMode"]

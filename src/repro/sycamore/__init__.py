@@ -1,0 +1,47 @@
+"""Sycamore: the declarative document processing engine (paper §5).
+
+Entry point::
+
+    from repro.sycamore import SycamoreContext
+
+    ctx = SycamoreContext(parallelism=4)
+    ds = (
+        ctx.read.raw(raw_documents)
+        .partition(ArynPartitioner())
+        .extract_properties({"us_state": "string", "weather_related": "bool"})
+        .explode()
+        .embed()
+    )
+    ds.write.index("ntsb")
+"""
+
+from .aggregates import (
+    AGG_FUNCS,
+    aggregate_field,
+    group_counts,
+    grouped_aggregate,
+    hash_join,
+    property_getter,
+    reduce_by_key,
+    sort_documents,
+    top_k_values,
+)
+from .context import SycamoreContext
+from .docset import DocSet, DocSetWriter
+from .llm_transforms import summarize_collection
+
+__all__ = [
+    "AGG_FUNCS",
+    "DocSet",
+    "DocSetWriter",
+    "SycamoreContext",
+    "aggregate_field",
+    "group_counts",
+    "grouped_aggregate",
+    "hash_join",
+    "property_getter",
+    "reduce_by_key",
+    "sort_documents",
+    "summarize_collection",
+    "top_k_values",
+]

@@ -1,0 +1,150 @@
+"""The Sycamore context: shared services and DocSet readers.
+
+A :class:`SycamoreContext` bundles everything transforms need — the LLM
+client, embedder, index catalog, executor configuration and lineage
+tracker — and exposes ``context.read.*`` entry points mirroring the
+paper's programming model (Figure 3 starts with ``ctx.read.binary``;
+Luna's generated code starts with ``context.read.opensearch``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from ..docmodel.document import Document
+from ..docmodel.raw import RawDocument
+from ..embedding.embedder import Embedder, HashingEmbedder
+from ..execution.executor import Executor
+from ..execution.lineage import Lineage
+from ..indexes.catalog import IndexCatalog
+from ..indexes.docstore import DocStore
+from ..llm.base import LLMClient
+from ..llm.client import ReliableLLM
+from ..llm.cost import CostTracker
+from ..llm.simulated import SimulatedLLM
+
+if TYPE_CHECKING:
+    from .docset import DocSet
+
+
+class SycamoreContext:
+    """Shared state for a Sycamore session.
+
+    Parameters default to a fully self-contained stack: a simulated LLM
+    wrapped in the reliability layer, a hashing embedder, a fresh index
+    catalog, and single-threaded execution. ``default_model`` is what
+    LLM-powered transforms use when not told otherwise.
+    """
+
+    def __init__(
+        self,
+        llm: Optional[LLMClient] = None,
+        embedder: Optional[Embedder] = None,
+        catalog: Optional[IndexCatalog] = None,
+        parallelism: int = 1,
+        max_task_retries: int = 2,
+        default_model: str = "sim-large",
+        seed: int = 0,
+    ):
+        self.cost_tracker = CostTracker()
+        if llm is None:
+            llm = ReliableLLM(SimulatedLLM(seed=seed, tracker=self.cost_tracker))
+        elif not isinstance(llm, ReliableLLM):
+            llm = ReliableLLM(llm)
+        self.llm: ReliableLLM = llm
+        self.embedder: Embedder = embedder or HashingEmbedder(seed=seed)
+        self.catalog = catalog or IndexCatalog(embedder=self.embedder)
+        self.lineage = Lineage()
+        self.parallelism = parallelism
+        self.max_task_retries = max_task_retries
+        self.default_model = default_model
+        self.read = _Readers(self)
+
+    def executor(self) -> Executor:
+        """A fresh executor honouring this context's configuration."""
+        return Executor(
+            parallelism=self.parallelism,
+            max_task_retries=self.max_task_retries,
+            lineage=self.lineage,
+        )
+
+
+class _Readers:
+    """The ``context.read`` namespace."""
+
+    def __init__(self, context: SycamoreContext):
+        self._context = context
+
+    def documents(self, documents: Sequence[Document]) -> "DocSet":
+        """DocSet over already-built documents."""
+        from .docset import DocSet
+
+        return DocSet.from_documents(self._context, documents)
+
+    def raw(self, raw_documents: Sequence[RawDocument]) -> "DocSet":
+        """DocSet over raw documents, as single-node binary documents.
+
+        This is the just-read-a-PDF state of §5.1: each document is one
+        node whose content is the raw binary, awaiting ``partition``.
+        """
+        from .docset import DocSet
+
+        documents = [
+            Document(doc_id=raw.doc_id, binary=raw.to_bytes()) for raw in raw_documents
+        ]
+        return DocSet.from_documents(self._context, documents)
+
+    def docstore(self, store: DocStore) -> "DocSet":
+        """DocSet over the documents of a DocStore."""
+        from .docset import DocSet
+
+        return DocSet.from_documents(self._context, list(store.scan()))
+
+    def index(self, name: str, query: Optional[str] = None, k: Optional[int] = None) -> "DocSet":
+        """Read from a catalog index: full scan, or top-k retrieval.
+
+        Mirrors ``context.read.opensearch(index_name=...)`` in the
+        paper's generated code (§6.2).
+        """
+        from .docset import DocSet
+
+        index = self._context.catalog.get(name)
+        if query is None:
+            documents = index.all_documents()
+        else:
+            documents = index.search_hybrid(query, k=k or 10)
+        return DocSet.from_documents(self._context, documents)
+
+    def lake(self, lake: "Path | object") -> "DocSet":
+        """Lazily read raw documents from a data lake directory (Fig. 1).
+
+        Accepts a :class:`repro.indexes.lake.DataLake` or a path to one.
+        Documents stream from disk during execution — the corpus is never
+        fully resident before partitioning.
+        """
+        from ..indexes.lake import DataLake
+        from ..execution.plan import Plan
+        from .docset import DocSet
+
+        if not isinstance(lake, DataLake):
+            lake = DataLake(Path(lake))
+
+        def read_lake():
+            for raw in lake.scan():
+                yield Document(doc_id=raw.doc_id, binary=raw.to_bytes())
+
+        return DocSet(self._context, Plan.source(read_lake, name="read_lake"))
+
+    def jsonl(self, path: Path) -> "DocSet":
+        """DocSet over documents stored as JSON lines."""
+        from .docset import DocSet
+
+        documents: List[Document] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    documents.append(Document.from_json(line))
+        return DocSet.from_documents(self._context, documents)

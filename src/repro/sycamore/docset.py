@@ -1,0 +1,564 @@
+"""DocSet: the reliable distributed collection at the core of Sycamore.
+
+"DocSets are reliable distributed collections, similar to Spark
+DataFrames, but the elements are hierarchical documents represented with
+semantic trees and additional metadata" (§3). A DocSet wraps a lazy
+execution plan over :class:`~repro.docmodel.document.Document` records;
+transforms compose new plans, and terminal operations (count, take,
+write) trigger execution on the context's executor.
+
+The transform catalogue follows the paper's Table 1:
+
+=============  ==================================================
+Core           ``map``, ``filter``, ``flat_map``
+Structural     ``partition``, ``explode``, ``merge_elements``
+Analytic       ``reduce_by_key``, ``sort``, ``top_k``, ``aggregate``,
+               ``filter_by_property``, ``join``
+LLM-powered    ``llm_query``, ``llm_filter``, ``extract_properties``,
+               ``summarize``, ``classify``, ``embed``
+=============  ==================================================
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..docmodel.document import Document, Node
+from ..docmodel.elements import Element
+from ..execution.materialize import DiskCache, MemoryCache
+from ..execution.plan import Plan
+from ..llm.prompts import PromptTemplate
+from . import aggregates, llm_transforms
+from .context import SycamoreContext
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "contains": lambda a, b: str(b).lower() in str(a).lower(),
+}
+
+
+class DocSet:
+    """A lazy collection of documents bound to a context."""
+
+    def __init__(self, context: SycamoreContext, plan: Plan):
+        self.context = context
+        self.plan = plan
+
+    @classmethod
+    def from_documents(cls, context: SycamoreContext, documents: Sequence[Document]) -> "DocSet":
+        """DocSet over an in-memory document list."""
+        return cls(context, Plan.from_items(list(documents), name="read_documents"))
+
+    # ------------------------------------------------------------------
+    # Core functional transforms
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[Document], Document], name: Optional[str] = None) -> "DocSet":
+        """Apply an arbitrary per-document UDF."""
+        return DocSet(self.context, self.plan.map(fn, name=name))
+
+    def filter(self, fn: Callable[[Document], bool], name: Optional[str] = None) -> "DocSet":
+        """Keep documents satisfying an arbitrary predicate UDF."""
+        return DocSet(self.context, self.plan.filter(fn, name=name))
+
+    def flat_map(
+        self, fn: Callable[[Document], Iterable[Document]], name: Optional[str] = None
+    ) -> "DocSet":
+        """Map each document to zero or more documents."""
+        return DocSet(self.context, self.plan.flat_map(fn, name=name))
+
+    # ------------------------------------------------------------------
+    # Structural transforms
+    # ------------------------------------------------------------------
+
+    def partition(self, partitioner: Any, name: str = "partition") -> "DocSet":
+        """Parse raw binary documents into semantic trees (§4, Fig. 3).
+
+        ``partitioner`` is any object with ``partition(document) ->
+        Document`` (e.g. :class:`repro.partitioner.ArynPartitioner`).
+        """
+        return self.map(partitioner.partition, name=name)
+
+    def explode(self, name: str = "explode") -> "DocSet":
+        """One document per leaf element (chunk preparation, §5.2).
+
+        Child documents inherit the parent's properties, carry the element
+        text as their text, and record ``parent_id`` for lineage.
+        """
+
+        def explode_document(document: Document) -> List[Document]:
+            children = []
+            for position, element in enumerate(document.elements):
+                child = Document(
+                    text=element.text_representation(),
+                    parent_id=document.doc_id,
+                    properties=dict(document.properties),
+                )
+                child.properties.update(
+                    {
+                        "element_type": element.type,
+                        "element_index": position,
+                        "page": element.page,
+                    }
+                )
+                child.root = Node(label="chunk", children=[element.copy()])
+                children.append(child)
+            return children
+
+        return self.flat_map(explode_document, name=name)
+
+    def map_elements(
+        self, fn: Callable[[Element], Element], name: str = "map_elements"
+    ) -> "DocSet":
+        """Apply a UDF to every leaf element, preserving tree structure."""
+
+        def apply(document: Document) -> Document:
+            result = document.copy()
+            _rewrite_elements(result.root, fn)
+            return result
+
+        return self.map(apply, name=name)
+
+    def filter_elements(
+        self, predicate: Callable[[Element], bool], name: str = "filter_elements"
+    ) -> "DocSet":
+        """Drop leaf elements failing the predicate (e.g. page furniture)."""
+
+        def apply(document: Document) -> Document:
+            result = document.copy()
+            _prune_elements(result.root, predicate)
+            return result
+
+        return self.map(apply, name=name)
+
+    def flatten_properties(self, separator: str = ".") -> "DocSet":
+        """Flatten nested property objects into dotted keys (Table 1 'flatten').
+
+        ``{"meta": {"year": 2023}}`` becomes ``{"meta.year": 2023}`` so
+        analytic transforms and index schemas can address nested fields
+        directly.
+        """
+
+        def apply(document: Document) -> Document:
+            result = document.copy()
+            result.properties = _flatten(result.properties, separator)
+            return result
+
+        return self.map(apply, name="flatten_properties")
+
+    def merge_elements(
+        self,
+        should_merge: Callable[[Element, Element], bool],
+        name: str = "merge_elements",
+    ) -> "DocSet":
+        """Coalesce adjacent leaf elements when ``should_merge`` approves.
+
+        Used to stitch fragmented text regions back together before
+        chunking (a structural transform in the sense of Table 1).
+        """
+
+        def merge(document: Document) -> Document:
+            result = document.copy()
+            merged: List[Element] = []
+            for element in result.elements:
+                if merged and should_merge(merged[-1], element):
+                    merged[-1] = merged[-1].copy()
+                    merged[-1].text = f"{merged[-1].text}\n{element.text}"
+                else:
+                    merged.append(element)
+            result.root = Node(label="document", children=merged)
+            return result
+
+        return self.map(merge, name=name)
+
+    # ------------------------------------------------------------------
+    # Analytic transforms (property-oriented; missing values tolerated)
+    # ------------------------------------------------------------------
+
+    def filter_by_property(
+        self, field: str, op: str, value: Any, name: Optional[str] = None
+    ) -> "DocSet":
+        """Structured filter on a property; missing values never match."""
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown operator {op!r}; known: {sorted(_COMPARATORS)}")
+        compare = _COMPARATORS[op]
+        get = aggregates.property_getter(field)
+
+        def predicate(document: Document) -> bool:
+            actual = get(document)
+            if actual is None:
+                return False
+            try:
+                return bool(compare(actual, value))
+            except TypeError:
+                return False
+
+        return self.filter(predicate, name=name or f"filter_{field}_{op}")
+
+    def sort(self, field: str, descending: bool = False) -> "DocSet":
+        """Sort by property (barrier); missing values sort last."""
+        return DocSet(
+            self.context,
+            self.plan.aggregate(
+                lambda docs: aggregates.sort_documents(docs, field, descending),
+                name=f"sort_{field}",
+            ),
+        )
+
+    def limit(self, k: int) -> "DocSet":
+        """Keep the first ``k`` documents."""
+        if k < 0:
+            raise ValueError("limit must be non-negative")
+        return DocSet(
+            self.context,
+            self.plan.aggregate(lambda docs: docs[:k], name=f"limit_{k}"),
+        )
+
+    def reduce_by_key(
+        self,
+        key: Union[str, Callable[[Document], Any]],
+        reduce_fn: Callable[[List[Document]], Any],
+    ) -> "DocSet":
+        """Group-and-reduce (Table 1); result docs have ``key``/``value``."""
+        key_fn = aggregates.property_getter(key) if isinstance(key, str) else key
+        return DocSet(
+            self.context,
+            self.plan.aggregate(
+                lambda docs: aggregates.reduce_by_key(docs, key_fn, reduce_fn),
+                name="reduce_by_key",
+            ),
+        )
+
+    def join(
+        self, other: "DocSet", left_on: str, right_on: str, how: str = "inner"
+    ) -> "DocSet":
+        """Property-equality join with another DocSet (barrier on both sides)."""
+        right_docs = other.take_all()
+        return DocSet(
+            self.context,
+            self.plan.aggregate(
+                lambda docs: aggregates.hash_join(docs, right_docs, left_on, right_on, how),
+                name=f"join_{left_on}_{right_on}",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # LLM-powered transforms
+    # ------------------------------------------------------------------
+
+    def llm_query(
+        self,
+        prompt: "PromptTemplate | str",
+        output_property: str,
+        model: Optional[str] = None,
+        num_elements: Optional[int] = None,
+        parse_json: bool = False,
+    ) -> "DocSet":
+        """Run a prompt against each document, storing the output (§5.2)."""
+        fn = llm_transforms.make_llm_query_fn(
+            self.context, prompt, output_property, model, num_elements, parse_json
+        )
+        return self.map(fn, name=f"llm_query_{output_property}")
+
+    def extract_properties(
+        self,
+        schema: Dict[str, str],
+        model: Optional[str] = None,
+        num_elements: Optional[int] = None,
+    ) -> "DocSet":
+        """Extract schema fields from each document into properties (Fig. 3)."""
+        fn = llm_transforms.make_extract_properties_fn(
+            self.context, schema, model, num_elements
+        )
+        return self.map(fn, name="extract_properties")
+
+    def llm_filter(
+        self,
+        condition: str,
+        model: Optional[str] = None,
+        num_elements: Optional[int] = None,
+    ) -> "DocSet":
+        """Keep documents satisfying a natural-language condition."""
+        fn = llm_transforms.make_llm_filter_fn(self.context, condition, model, num_elements)
+        return self.filter(fn, name="llm_filter")
+
+    def summarize(
+        self,
+        output_property: str = "summary",
+        model: Optional[str] = None,
+        max_sentences: int = 3,
+    ) -> "DocSet":
+        """Per-document summary into a property."""
+        fn = llm_transforms.make_summarize_fn(
+            self.context, output_property, model, max_sentences
+        )
+        return self.map(fn, name="summarize")
+
+    def classify(
+        self,
+        categories: Sequence[str],
+        output_property: str,
+        model: Optional[str] = None,
+    ) -> "DocSet":
+        """Assign each document one of ``categories``."""
+        fn = llm_transforms.make_classify_fn(self.context, categories, output_property, model)
+        return self.map(fn, name=f"classify_{output_property}")
+
+    def extract_entities(
+        self,
+        output_property: str = "entities",
+        model: Optional[str] = None,
+        num_elements: Optional[int] = None,
+    ) -> "DocSet":
+        """Extract entity/relation triples into a property (§7)."""
+        fn = llm_transforms.make_extract_entities_fn(
+            self.context, output_property, model, num_elements
+        )
+        return self.map(fn, name="extract_entities")
+
+    def embed(self) -> "DocSet":
+        """Attach an embedding vector property to each document (Fig. 3)."""
+        return self.map(llm_transforms.make_embed_fn(self.context), name="embed")
+
+    # ------------------------------------------------------------------
+    # Materialization and terminals
+    # ------------------------------------------------------------------
+
+    def materialize(self, path: Optional[Path] = None) -> "DocSet":
+        """Cache boundary: to memory, or to disk when ``path`` is given (§5.3)."""
+        cache = DiskCache(path) if path is not None else MemoryCache()
+        return DocSet(self.context, self.plan.materialize(cache))
+
+    def take_all(self) -> List[Document]:
+        """Execute the plan and collect every document."""
+        return self.context.executor().take_all(self.plan)
+
+    def take(self, k: int) -> List[Document]:
+        """Execute and collect up to k output documents."""
+        results = []
+        for document in self.context.executor().execute(self.plan):
+            results.append(document)
+            if len(results) >= k:
+                break
+        return results
+
+    def first(self) -> Optional[Document]:
+        """The first output document, or None."""
+        taken = self.take(1)
+        return taken[0] if taken else None
+
+    def count(self) -> int:
+        """Execute and count the documents."""
+        return self.context.executor().count(self.plan)
+
+    def distinct(self, field: str) -> "DocSet":
+        """Keep the first document per distinct value of a property."""
+
+        def dedupe(documents: List[Document]) -> List[Document]:
+            get = aggregates.property_getter(field)
+            seen = set()
+            kept = []
+            for document in documents:
+                value = get(document)
+                try:
+                    key = value if not isinstance(value, list) else tuple(value)
+                    hash(key)
+                except TypeError:
+                    key = str(value)
+                if key not in seen:
+                    seen.add(key)
+                    kept.append(document)
+            return kept
+
+        return DocSet(
+            self.context,
+            self.plan.aggregate(dedupe, name=f"distinct_{field}"),
+        )
+
+    def project(self, fields: "str | Sequence[str]") -> List[Any]:
+        """Values of the named properties, per document (terminal).
+
+        One field yields a flat list; several yield tuples — the shape
+        Luna's ``Project`` operator returns.
+        """
+        if isinstance(fields, str):
+            fields = [fields]
+        getters = [aggregates.property_getter(str(f)) for f in fields]
+        documents = self.take_all()
+        if len(getters) == 1:
+            return [getters[0](d) for d in documents]
+        return [tuple(get(d) for get in getters) for d in documents]
+
+    def top_k(self, field: str, k: int = 1, descending: bool = True) -> List[tuple]:
+        """(value, count) pairs of the most/least frequent property values."""
+        return aggregates.top_k_values(self.take_all(), field, k, descending)
+
+    def aggregate(
+        self, func: str, field: str, group_by: Optional[str] = None
+    ) -> Union[Optional[float], Dict[Any, Optional[float]]]:
+        """Numeric aggregate over a property, optionally grouped."""
+        documents = self.take_all()
+        if group_by is None:
+            return aggregates.aggregate_field(documents, func, field)
+        return aggregates.grouped_aggregate(documents, func, field, group_by)
+
+    def summarize_all(
+        self, model: Optional[str] = None, question: Optional[str] = None
+    ) -> str:
+        """Collection-level synthesis (terminal)."""
+        return llm_transforms.summarize_collection(
+            self.context, self.take_all(), model=model, question=question
+        )
+
+    def explain(self) -> str:
+        """Render the logical plan (the user-facing debugging view)."""
+        return self.plan.explain()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def write(self) -> "DocSetWriter":
+        """The terminal-sink namespace for this DocSet."""
+        return DocSetWriter(self)
+
+
+def _rewrite_elements(node: Optional[Node], fn: Callable[[Element], Element]) -> None:
+    if node is None:
+        return
+    for position, child in enumerate(node.children):
+        if isinstance(child, Node):
+            _rewrite_elements(child, fn)
+        else:
+            node.children[position] = fn(child)
+
+
+def _prune_elements(node: Optional[Node], predicate: Callable[[Element], bool]) -> None:
+    if node is None:
+        return
+    kept = []
+    for child in node.children:
+        if isinstance(child, Node):
+            _prune_elements(child, predicate)
+            kept.append(child)
+        elif predicate(child):
+            kept.append(child)
+    node.children[:] = kept
+
+
+def _flatten(properties: Dict[str, Any], separator: str) -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in properties.items():
+        if isinstance(value, dict) and value:
+            for sub_key, sub_value in _flatten(value, separator).items():
+                flat[f"{key}{separator}{sub_key}"] = sub_value
+        else:
+            flat[key] = value
+    return flat
+
+
+class DocSetWriter:
+    """The ``docset.write`` namespace: terminal sinks."""
+
+    def __init__(self, docset: DocSet):
+        self._docset = docset
+
+    def index(self, name: str, create: bool = True) -> int:
+        """Write into a named catalog index (docstore + keyword + vector).
+
+        Returns the number of documents written. The index schema is
+        refreshed from the written documents' properties, which is how
+        Luna's planner learns what fields exist.
+        """
+        context = self._docset.context
+        if create:
+            index = context.catalog.create(name, exist_ok=True)
+        else:
+            index = context.catalog.get(name)
+        documents = self._docset.take_all()
+        index.add_documents(documents)
+        return len(documents)
+
+    def docstore(self, store: Any) -> int:
+        """Write every document into the given DocStore."""
+        documents = self._docset.take_all()
+        store.put_many(documents)
+        return len(documents)
+
+    def jsonl(self, path: Path) -> int:
+        """Read/write documents as JSON lines at the path."""
+        documents = self._docset.take_all()
+        with open(path, "w", encoding="utf-8") as handle:
+            for document in documents:
+                handle.write(document.to_json())
+                handle.write("\n")
+        return len(documents)
+
+    def knowledge_graph(
+        self,
+        store: Any,
+        model: Optional[str] = None,
+        triples_property: str = "entities",
+    ) -> int:
+        """Extract entities with an LLM and assert them into a graph (§7).
+
+        Documents that already carry extracted triples (in
+        ``triples_property``) are used as-is; others go through the
+        ``extract_entities`` transform first. Every triple is asserted
+        with the source document id as provenance — the audit trail the
+        paper's accuracy tenet demands. Returns the number of triples
+        written.
+        """
+        documents = self._docset.take_all()
+        context = self._docset.context
+        fn = llm_transforms.make_extract_entities_fn(
+            context, output_property=triples_property, model=model
+        )
+        written = 0
+        for document in documents:
+            triples = document.properties.get(triples_property)
+            if triples is None:
+                triples = fn(document).properties[triples_property]
+            for triple in triples:
+                store.add_triple(
+                    triple["subject"],
+                    triple["predicate"],
+                    triple["object"],
+                    source_doc_id=document.doc_id,
+                )
+                written += 1
+        return written
+
+    def graph(
+        self,
+        store: Any,
+        subject_property: str,
+        edges: Sequence[tuple],
+    ) -> int:
+        """Project properties into a knowledge graph (pay-as-you-go, §7).
+
+        ``edges`` is a sequence of (predicate, object_property) pairs; for
+        each document a triple (subject, predicate, object_value) is
+        asserted with the document as provenance.
+        """
+        documents = self._docset.take_all()
+        get_subject = aggregates.property_getter(subject_property)
+        written = 0
+        for document in documents:
+            subject = get_subject(document)
+            if subject is None:
+                continue
+            for predicate, object_property in edges:
+                value = aggregates.property_getter(object_property)(document)
+                if value is None:
+                    continue
+                store.add_triple(
+                    str(subject), predicate, str(value), source_doc_id=document.doc_id
+                )
+                written += 1
+        return written

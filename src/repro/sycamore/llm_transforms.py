@@ -1,0 +1,254 @@
+"""LLM-powered transform implementations for DocSets.
+
+Per §5.2: "LLM-powered transforms are used to enrich Documents. The most
+basic, llm_query, allows callers to specify a prompt that will be used to
+process each document... The output is stored in a property of the input
+document. Sycamore includes a number of more specific transforms like
+extract_properties and summarize that leverage built-in prompts."
+
+Each factory returns a per-document callable suitable for a plan ``map``
+or ``filter`` node; prompt assembly, JSON parsing and retries all go
+through the reliability layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..docmodel.document import Document
+from ..llm.prompts import (
+    CLASSIFY_TEXT,
+    EXTRACT_PROPERTIES,
+    FILTER_DOCUMENT,
+    PromptTemplate,
+    SUMMARIZE_COLLECTION,
+    SUMMARIZE_DOCUMENT,
+    render_task_prompt,
+)
+from .context import SycamoreContext
+
+
+def _document_text(document: Document, num_elements: Optional[int]) -> str:
+    return document.text_representation(max_elements=num_elements)
+
+
+def make_extract_properties_fn(
+    context: SycamoreContext,
+    schema: Dict[str, str],
+    model: Optional[str] = None,
+    num_elements: Optional[int] = None,
+) -> Callable[[Document], Document]:
+    """Per-document property extraction against a JSON schema (Fig. 3/4)."""
+    schema_json = json.dumps(schema, sort_keys=True)
+    model_name = model or context.default_model
+
+    def extract(document: Document) -> Document:
+        prompt = EXTRACT_PROPERTIES.render(
+            schema=schema_json, document=_document_text(document, num_elements)
+        )
+        values = context.llm.complete_json(prompt, model=model_name)
+        result = document.copy()
+        if isinstance(values, dict):
+            for key in schema:
+                result.properties[key] = values.get(key)
+        return result
+
+    return extract
+
+
+def make_llm_query_fn(
+    context: SycamoreContext,
+    prompt: "PromptTemplate | str",
+    output_property: str,
+    model: Optional[str] = None,
+    num_elements: Optional[int] = None,
+    parse_json: bool = False,
+) -> Callable[[Document], Document]:
+    """The generic ``llm_query`` transform.
+
+    ``prompt`` may be a :class:`PromptTemplate` (rendered with the
+    document text) or a plain instruction string. Instruction strings may
+    reference document properties with ``{property_name}`` placeholders,
+    matching the paper's "parameterized by the content ... and/or the
+    properties of the document".
+    """
+    model_name = model or context.default_model
+
+    def query(document: Document) -> Document:
+        text = _document_text(document, num_elements)
+        if isinstance(prompt, PromptTemplate):
+            rendered = prompt.render(document=text)
+        else:
+            instructions = _fill_placeholders(prompt, document.properties)
+            rendered = render_task_prompt(
+                "llm_query", {"instructions": instructions, "document": text}
+            )
+        result = document.copy()
+        if parse_json:
+            result.properties[output_property] = context.llm.complete_json(
+                rendered, model=model_name
+            )
+        else:
+            result.properties[output_property] = context.llm.complete(
+                rendered, model=model_name
+            ).text
+        return result
+
+    return query
+
+
+def make_llm_filter_fn(
+    context: SycamoreContext,
+    condition: str,
+    model: Optional[str] = None,
+    num_elements: Optional[int] = None,
+) -> Callable[[Document], bool]:
+    """Semantic filter: keep documents satisfying a natural-language condition."""
+    model_name = model or context.default_model
+
+    def predicate(document: Document) -> bool:
+        prompt = FILTER_DOCUMENT.render(
+            condition=condition, document=_document_text(document, num_elements)
+        )
+        answer = context.llm.complete(prompt, model=model_name).text
+        return answer.strip().lower().startswith("y")
+
+    return predicate
+
+
+def make_summarize_fn(
+    context: SycamoreContext,
+    output_property: str = "summary",
+    model: Optional[str] = None,
+    max_sentences: int = 3,
+    num_elements: Optional[int] = None,
+) -> Callable[[Document], Document]:
+    """Per-document summarization into a property."""
+    model_name = model or context.default_model
+
+    def summarize(document: Document) -> Document:
+        prompt = SUMMARIZE_DOCUMENT.render(
+            document=_document_text(document, num_elements),
+            max_sentences=str(max_sentences),
+        )
+        result = document.copy()
+        result.properties[output_property] = context.llm.complete(
+            prompt, model=model_name
+        ).text
+        return result
+
+    return summarize
+
+
+def make_classify_fn(
+    context: SycamoreContext,
+    categories: Sequence[str],
+    output_property: str,
+    model: Optional[str] = None,
+    num_elements: Optional[int] = None,
+) -> Callable[[Document], Document]:
+    """Classify each document into one of ``categories``."""
+    model_name = model or context.default_model
+    category_list = ", ".join(categories)
+
+    def classify(document: Document) -> Document:
+        prompt = CLASSIFY_TEXT.render(
+            categories=category_list, document=_document_text(document, num_elements)
+        )
+        result = document.copy()
+        answer = context.llm.complete(prompt, model=model_name).text.strip()
+        result.properties[output_property] = answer if answer in categories else None
+        return result
+
+    return classify
+
+
+def make_extract_entities_fn(
+    context: SycamoreContext,
+    output_property: str = "entities",
+    model: Optional[str] = None,
+    num_elements: Optional[int] = None,
+) -> Callable[[Document], Document]:
+    """Extract (subject, predicate, object) triples into a property.
+
+    The first step of pay-as-you-go knowledge-graph construction (§7);
+    ``DocSetWriter.knowledge_graph`` asserts the extracted triples into a
+    graph store with document provenance.
+    """
+    from ..llm.prompts import EXTRACT_ENTITIES
+
+    model_name = model or context.default_model
+
+    def extract(document: Document) -> Document:
+        prompt = EXTRACT_ENTITIES.render(
+            document=_document_text(document, num_elements)
+        )
+        payload = context.llm.complete_json(prompt, model=model_name)
+        result = document.copy()
+        triples = []
+        if isinstance(payload, list):
+            for item in payload:
+                if (
+                    isinstance(item, dict)
+                    and {"subject", "predicate", "object"} <= set(item)
+                ):
+                    triples.append(
+                        {
+                            "subject": str(item["subject"]),
+                            "predicate": str(item["predicate"]),
+                            "object": str(item["object"]),
+                        }
+                    )
+        result.properties[output_property] = triples
+        return result
+
+    return extract
+
+
+def make_embed_fn(context: SycamoreContext) -> Callable[[Document], Document]:
+    """Attach an embedding vector (as a list, for serializability)."""
+
+    def embed(document: Document) -> Document:
+        result = document.copy()
+        text = result.text_representation() or result.text
+        result.properties["embedding"] = [float(x) for x in context.embedder.embed(text)]
+        return result
+
+    return embed
+
+
+def summarize_collection(
+    context: SycamoreContext,
+    documents: List[Document],
+    model: Optional[str] = None,
+    question: Optional[str] = None,
+    per_doc_sentences: int = 1,
+    max_docs: int = 50,
+) -> str:
+    """Collection-level synthesis used by terminal summarize and Luna.
+
+    Packs per-document text (truncated) into one prompt, separated by
+    ``---`` markers, and asks for a synthesis; an optional ``question``
+    focuses it.
+    """
+    model_name = model or context.default_model
+    parts = []
+    for document in documents[:max_docs]:
+        text = document.text_representation()
+        parts.append(text[:1500])
+    sections = {
+        "documents": "\n---\n".join(parts),
+        "max_sentences": str(per_doc_sentences),
+    }
+    if question:
+        sections["question"] = question
+    prompt = render_task_prompt("summarize_collection", sections)
+    return context.llm.complete(prompt, model=model_name).text
+
+
+def _fill_placeholders(template: str, properties: Dict[str, Any]) -> str:
+    result = template
+    for key, value in properties.items():
+        result = result.replace("{" + key + "}", str(value))
+    return result

@@ -1,0 +1,215 @@
+"""Tests for the synthetic corpus generators and the page layouter."""
+
+import random
+
+import pytest
+
+from repro.datagen import (
+    PageLayouter,
+    SECTORS,
+    build_full_suite,
+    generate_earnings_corpus,
+    generate_layout_benchmark,
+    generate_ntsb_corpus,
+    wrap_text,
+)
+from repro.datagen.ntsb import CAUSE_TAXONOMY
+from repro.docmodel import PAGE_HEIGHT, PAGE_WIDTH
+
+
+class TestWrapText:
+    def test_respects_width(self):
+        lines = wrap_text("word " * 100, width_chars=20)
+        assert all(len(line) <= 20 for line in lines)
+
+    def test_keeps_paragraph_breaks(self):
+        lines = wrap_text("para one\npara two")
+        assert lines == ["para one", "para two"]
+
+    def test_skips_blank_paragraphs(self):
+        assert wrap_text("a\n\n\nb") == ["a", "b"]
+
+
+class TestPageLayouter:
+    def test_every_page_has_furniture(self):
+        layout = PageLayouter(header_text="HDR")
+        layout.add_paragraphs(["text " * 400] * 3)  # force multiple pages
+        doc = layout.build("d1")
+        assert doc.num_pages() >= 2
+        for page in doc.pages:
+            labels = [b.label for b in page.boxes]
+            assert "Page-header" in labels
+            assert "Page-footer" in labels
+
+    def test_boxes_stay_on_canvas(self):
+        layout = PageLayouter(header_text="H")
+        layout.add_title("A Title")
+        layout.add_paragraphs(["body " * 200] * 4)
+        layout.add_table([["A", "B"]] + [[str(i), str(i)] for i in range(40)])
+        doc = layout.build("d2")
+        for page in doc.pages:
+            for box in page.boxes:
+                assert 0 <= box.bbox.x1 <= box.bbox.x2 <= PAGE_WIDTH
+                assert 0 <= box.bbox.y1 <= box.bbox.y2 <= PAGE_HEIGHT
+
+    def test_long_table_splits_with_continuation_flag(self):
+        layout = PageLayouter()
+        layout.add_paragraphs(["filler " * 300])  # eat most of page one
+        rows = [["Col1", "Col2"]] + [[f"r{i}", str(i)] for i in range(60)]
+        layout.add_table(rows)
+        doc = layout.build("d3")
+        fragments = [
+            b for page in doc.pages for b in page.boxes if b.label == "Table"
+        ]
+        assert len(fragments) >= 2
+        assert not fragments[0].continues_previous
+        assert all(f.continues_previous for f in fragments[1:])
+        # header row lives only on the first fragment
+        assert fragments[0].table.header_rows() == [0]
+        assert all(f.table.header_rows() == [] for f in fragments[1:])
+
+    def test_table_cells_have_positioned_runs(self):
+        layout = PageLayouter()
+        layout.add_table([["H1", "H2"], ["a", "b"]])
+        doc = layout.build("d4")
+        table_box = next(
+            b for page in doc.pages for b in page.boxes if b.label == "Table"
+        )
+        assert len(table_box.runs) == 4
+        for run in table_box.runs:
+            assert table_box.bbox.contains_box(run.bbox)
+
+    def test_scanned_image_text_not_in_plain_runs(self):
+        layout = PageLayouter()
+        layout.add_image("scan", contains_text="hidden words")
+        doc = layout.build("d5")
+        assert "hidden" not in " ".join(
+            r.text for r in doc.pages[0].text_runs()
+        )
+
+
+class TestNtsbCorpus:
+    def test_deterministic(self):
+        a_records, a_docs = generate_ntsb_corpus(5, seed=7)
+        b_records, b_docs = generate_ntsb_corpus(5, seed=7)
+        assert [r.to_dict() for r in a_records] == [r.to_dict() for r in b_records]
+        assert [d.to_bytes() for d in a_docs] == [d.to_bytes() for d in b_docs]
+
+    def test_seed_changes_corpus(self):
+        a, _ = generate_ntsb_corpus(5, seed=1)
+        b, _ = generate_ntsb_corpus(5, seed=2)
+        assert [r.to_dict() for r in a] != [r.to_dict() for r in b]
+
+    def test_ground_truth_attached(self, ntsb_corpus):
+        records, docs = ntsb_corpus
+        for record, doc in zip(records, docs):
+            assert doc.ground_truth == record.to_dict()
+            assert doc.doc_id == record.report_id
+
+    def test_records_internally_consistent(self, ntsb_corpus):
+        records, _ = ntsb_corpus
+        for r in records:
+            assert r.cause_detail in dict(CAUSE_TAXONOMY[r.cause_category])
+            assert r.weather_related == (r.cause_category == "environmental")
+            assert r.date.startswith(str(r.year))
+
+    def test_rendered_text_supports_extraction(self, ntsb_corpus):
+        records, docs = ntsb_corpus
+        for r, d in zip(records, docs):
+            text = " ".join(d.all_text().split())
+            assert f"{r.city}, {r.state}" in text
+            assert r.probable_cause.split(",")[0] in text
+
+    def test_cause_mix_roughly_matches_weights(self):
+        records, _ = generate_ntsb_corpus(400, seed=3)
+        environmental = sum(1 for r in records if r.cause_category == "environmental")
+        assert 0.3 < environmental / 400 < 0.5
+
+
+class TestEarningsCorpus:
+    def test_deterministic(self):
+        a, _ = generate_earnings_corpus(5, seed=9)
+        b, _ = generate_earnings_corpus(5, seed=9)
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+    def test_sentiment_consistent_with_guidance(self, earnings_corpus):
+        records, _ = earnings_corpus
+        for r in records:
+            expected = {"raised": "positive", "lowered": "negative", "maintained": "neutral"}
+            assert r.sentiment == expected[r.guidance]
+            assert r.sector in SECTORS
+
+    def test_narrative_mentions_ceo_transition_only_when_changed(self, earnings_corpus):
+        records, docs = earnings_corpus
+        for r, d in zip(records, docs):
+            text = d.all_text()
+            if r.ceo_changed:
+                assert "CEO transition" in text
+            else:
+                assert "CEO transition" not in text
+
+    def test_financial_table_present(self, earnings_corpus):
+        _, docs = earnings_corpus
+        for d in docs:
+            tables = [b for p in d.pages for b in p.boxes if b.label == "Table"]
+            assert tables
+            grid = tables[0].table.to_grid()
+            assert any("Revenue" in cell for row in grid for cell in row)
+
+
+class TestLayoutBenchmark:
+    def test_covers_all_eleven_categories(self):
+        docs = generate_layout_benchmark(40, seed=1)
+        labels = {b.label for d in docs for p in d.pages for b in p.boxes}
+        from repro.docmodel import ELEMENT_TYPES
+
+        assert labels == set(ELEMENT_TYPES)
+
+    def test_deterministic(self):
+        a = generate_layout_benchmark(10, seed=5)
+        b = generate_layout_benchmark(10, seed=5)
+        assert [d.to_bytes() for d in a] == [d.to_bytes() for d in b]
+
+
+class TestQuestionSuite:
+    def test_eighteen_questions(self, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])
+        assert len(suite) == 18
+        assert sum(1 for q in suite if q.index == "ntsb") == 10
+        assert sum(1 for q in suite if q.index == "earnings") == 8
+
+    def test_expected_answers_computed_from_records(self, ntsb_corpus, earnings_corpus):
+        records = ntsb_corpus[0]
+        suite = build_full_suite(records, earnings_corpus[0])
+        icing = next(q for q in suite if q.qid == "ntsb-01")
+        assert icing.expected == sum(1 for r in records if r.cause_detail == "icing")
+        percent = next(q for q in suite if q.qid == "ntsb-02")
+        env = [r for r in records if r.cause_category == "environmental"]
+        wind = [r for r in records if r.cause_detail == "wind"]
+        assert percent.expected == pytest.approx(100 * len(wind) / len(env))
+
+    def test_has_deliberately_ambiguous_questions(self, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])
+        assert sum(1 for q in suite if q.ambiguous) == 2
+
+
+class TestOrphanControl:
+    def test_no_tiny_leading_table_fragment(self):
+        """Orphan control: a table never starts as a sub-4-row stub when it
+        could start cleanly on the next page."""
+        from repro.datagen.render import PageLayouter
+
+        for filler in (290, 300, 310, 320, 330):
+            layout = PageLayouter()
+            layout.add_paragraphs(["filler " * filler])
+            rows = [["A", "B"]] + [[str(i), str(i)] for i in range(30)]
+            layout.add_table(rows)
+            doc = layout.build(f"orphan-{filler}")
+            fragments = [
+                b for p in doc.pages for b in p.boxes if b.label == "Table"
+            ]
+            first = fragments[0]
+            assert first.table.num_rows >= min(4, 31)
+            # All rows survive the pagination.
+            total_rows = sum(f.table.num_rows for f in fragments)
+            assert total_rows == 31

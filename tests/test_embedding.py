@@ -1,0 +1,89 @@
+"""Tests for the hashing embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import HashingEmbedder, cosine_similarity, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_words(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestCosine:
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestHashingEmbedder:
+    def test_deterministic(self):
+        e = HashingEmbedder(seed=1)
+        a = e.embed("the quick brown fox")
+        b = HashingEmbedder(seed=1).embed("the quick brown fox")
+        assert np.allclose(a, b)
+
+    def test_normalized(self):
+        e = HashingEmbedder()
+        assert np.linalg.norm(e.embed("some text here")) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self):
+        e = HashingEmbedder()
+        assert np.linalg.norm(e.embed("")) == 0.0
+
+    def test_dimensions_respected(self):
+        e = HashingEmbedder(dimensions=64)
+        assert e.embed("x").shape == (64,)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dimensions=0)
+
+    def test_seed_changes_space(self):
+        a = HashingEmbedder(seed=1).embed("hello world")
+        b = HashingEmbedder(seed=2).embed("hello world")
+        assert not np.allclose(a, b)
+
+    def test_vectors_are_readonly(self):
+        e = HashingEmbedder()
+        v = e.embed("abc")
+        with pytest.raises(ValueError):
+            v[0] = 5.0
+
+    def test_embed_many(self):
+        e = HashingEmbedder()
+        vectors = e.embed_many(["a b", "c d"])
+        assert len(vectors) == 2
+
+
+class TestSemanticBehaviour:
+    def test_lexical_overlap_increases_similarity(self):
+        e = HashingEmbedder(concept_weight=0.0)
+        same_topic = e.similarity("the pilot landed the plane", "the pilot landed safely")
+        different = e.similarity("the pilot landed the plane", "quarterly revenue fell")
+        assert same_topic > different
+
+    def test_concept_smoothing_clusters_synonyms(self):
+        with_concepts = HashingEmbedder(concept_weight=1.0)
+        without = HashingEmbedder(concept_weight=0.0)
+        pair = ("a strong gust hit the runway", "severe crosswind during approach")
+        assert with_concepts.similarity(*pair) > without.similarity(*pair)
+
+    def test_unrelated_topics_stay_unrelated(self):
+        e = HashingEmbedder()
+        sim = e.similarity("gusty crosswind on final", "fatigue crack in the engine")
+        assert sim < 0.3
+
+    def test_word_order_matters_slightly(self):
+        e = HashingEmbedder(concept_weight=0.0)
+        assert e.similarity("dog bites man", "man bites dog") < 1.0

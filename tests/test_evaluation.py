@@ -1,0 +1,180 @@
+"""Tests for the evaluation machinery: detection metrics, grading, harness."""
+
+import pytest
+
+from repro.datagen import build_full_suite
+from repro.docmodel import BoundingBox
+from repro.evaluation import (
+    Grade,
+    GroundTruthBox,
+    PredictedBox,
+    boxes_from_pages,
+    evaluate_detections,
+    grade_answer,
+    grade_categorical,
+    grade_exact_count,
+    grade_list,
+    grade_numeric,
+    grade_summary,
+    run_luna_suite,
+    run_rag_suite,
+)
+from repro.luna import Luna
+
+
+def _gt(image, label, x1, y1, x2, y2):
+    return GroundTruthBox(image, label, BoundingBox(x1, y1, x2, y2))
+
+
+def _pred(image, label, x1, y1, x2, y2, score):
+    return PredictedBox(image, label, BoundingBox(x1, y1, x2, y2), score)
+
+
+class TestDetectionMetrics:
+    def test_perfect_detections_score_one(self):
+        gts = [_gt("p1", "Text", 0, 0, 10, 10), _gt("p1", "Table", 20, 20, 40, 40)]
+        preds = [
+            _pred("p1", "Text", 0, 0, 10, 10, 0.9),
+            _pred("p1", "Table", 20, 20, 40, 40, 0.8),
+        ]
+        metrics = evaluate_detections(gts, preds)
+        assert metrics.mean_ap == pytest.approx(1.0, abs=0.01)
+        assert metrics.mean_ar == pytest.approx(1.0)
+
+    def test_no_predictions_scores_zero(self):
+        gts = [_gt("p1", "Text", 0, 0, 10, 10)]
+        metrics = evaluate_detections(gts, [])
+        assert metrics.mean_ap == 0.0
+        assert metrics.mean_ar == 0.0
+
+    def test_empty_ground_truth(self):
+        metrics = evaluate_detections([], [_pred("p", "Text", 0, 0, 1, 1, 0.5)])
+        assert metrics.mean_ap == 0.0
+        assert metrics.ap_per_category == {}
+
+    def test_wrong_label_does_not_match(self):
+        gts = [_gt("p1", "Text", 0, 0, 10, 10)]
+        preds = [_pred("p1", "Table", 0, 0, 10, 10, 0.9)]
+        assert evaluate_detections(gts, preds).mean_ap == 0.0
+
+    def test_false_positives_lower_precision_not_recall(self):
+        gts = [_gt("p1", "Text", 0, 0, 10, 10)]
+        clean = [_pred("p1", "Text", 0, 0, 10, 10, 0.9)]
+        noisy = clean + [
+            _pred("p1", "Text", 50 + i, 50, 60 + i, 60, 0.95) for i in range(3)
+        ]
+        clean_m = evaluate_detections(gts, clean)
+        noisy_m = evaluate_detections(gts, noisy)
+        assert noisy_m.mean_ap < clean_m.mean_ap
+        assert noisy_m.mean_ar == clean_m.mean_ar
+
+    def test_localization_quality_affects_high_iou_bands(self):
+        gts = [_gt("p1", "Text", 0, 0, 100, 100)]
+        tight = [_pred("p1", "Text", 0, 0, 100, 100, 0.9)]
+        loose = [_pred("p1", "Text", 10, 10, 110, 110, 0.9)]  # IoU ~0.68
+        assert (
+            evaluate_detections(gts, loose).mean_ap
+            < evaluate_detections(gts, tight).mean_ap
+        )
+
+    def test_duplicate_detections_counted_once(self):
+        # Two GT boxes but both predictions pile onto the first one: the
+        # duplicate must not be credited as a second true positive.
+        gts = [_gt("p1", "Text", 0, 0, 10, 10), _gt("p1", "Text", 30, 30, 40, 40)]
+        preds = [
+            _pred("p1", "Text", 0, 0, 10, 10, 0.9),
+            _pred("p1", "Text", 0, 0, 10, 10, 0.8),  # duplicate -> FP
+        ]
+        metrics = evaluate_detections(gts, preds)
+        assert metrics.mean_ar == pytest.approx(0.5)
+        assert metrics.mean_ap < 1.0
+
+    def test_per_image_matching(self):
+        # A detection on the wrong page must not match.
+        gts = [_gt("p1", "Text", 0, 0, 10, 10)]
+        preds = [_pred("p2", "Text", 0, 0, 10, 10, 0.9)]
+        assert evaluate_detections(gts, preds).mean_ap == 0.0
+
+    def test_boxes_from_pages(self, ntsb_corpus):
+        _, docs = ntsb_corpus
+        boxes = boxes_from_pages(docs[0].pages, docs[0].doc_id)
+        assert boxes
+        assert boxes[0].image_id == f"{docs[0].doc_id}:0"
+
+    def test_render(self):
+        gts = [_gt("p1", "Text", 0, 0, 10, 10)]
+        preds = [_pred("p1", "Text", 0, 0, 10, 10, 0.9)]
+        report = evaluate_detections(gts, preds).render()
+        assert "mAP@[.5:.95]" in report and "Text" in report
+
+
+class TestGraders:
+    def test_numeric_tolerances(self):
+        assert grade_numeric(50.4, 50.0).grade is Grade.CORRECT
+        assert grade_numeric(55.0, 50.0).grade is Grade.PLAUSIBLE
+        assert grade_numeric(80.0, 50.0).grade is Grade.INCORRECT
+        assert grade_numeric("about 50.2 percent", 50.0).grade is Grade.CORRECT
+        assert grade_numeric("no number", 50.0).grade is Grade.INCORRECT
+
+    def test_exact_count(self):
+        assert grade_exact_count(7, 7).grade is Grade.CORRECT
+        assert grade_exact_count(8, 7).grade is Grade.PLAUSIBLE
+        assert grade_exact_count(12, 7).grade is Grade.INCORRECT
+        assert grade_exact_count("7", 7).grade is Grade.CORRECT
+
+    def test_categorical(self):
+        assert grade_categorical("AK", "AK").grade is Grade.CORRECT
+        assert grade_categorical([("AK", 5)], ["AK", "TX"]).grade is Grade.CORRECT
+        assert grade_categorical([("CA", 5), ("AK", 4)], "AK").grade is Grade.PLAUSIBLE
+        assert grade_categorical("WY", "AK").grade is Grade.INCORRECT
+        assert grade_categorical("the answer is AK overall", "AK").grade is Grade.CORRECT
+
+    def test_list_jaccard(self):
+        expected = ["a", "b", "c", "d"]
+        assert grade_list(["a", "b", "c", "d"], expected).grade is Grade.CORRECT
+        assert grade_list(["a", "b"], expected).grade is Grade.PLAUSIBLE
+        assert grade_list(["x", "y"], expected).grade is Grade.INCORRECT
+        assert grade_list([], expected).grade is Grade.INCORRECT
+
+    def test_summary_coverage(self):
+        text = "Incidents in TX and NY involved bird strikes."
+        assert grade_summary(text, ["TX", "NY", "bird"]).grade is Grade.CORRECT
+        assert (
+            grade_summary(text, ["TX", "NY", "CA", "WA", "OR", "AZ"]).grade
+            is Grade.PLAUSIBLE
+        )
+        assert grade_summary(text, ["CA", "WA", "OR"]).grade is Grade.INCORRECT
+
+    def test_grade_answer_dispatch(self, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])
+        count_q = next(q for q in suite if q.kind == "count")
+        assert grade_answer(count_q, count_q.expected).grade is Grade.CORRECT
+        with pytest.raises(ValueError):
+            bad = count_q
+            object.__setattr__ if False else setattr(bad, "kind", "weird")
+            grade_answer(bad, 1)
+
+
+class TestSuiteHarness:
+    def test_luna_suite_runs_and_aggregates(self, indexed_context, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])[:4]
+        luna = Luna(indexed_context, planner_model="sim-oracle", policy="quality")
+        report = run_luna_suite(luna, suite)
+        assert len(report.outcomes) == 4
+        assert report.correct + report.plausible + report.incorrect == 4
+        assert 0.0 <= report.accuracy <= 1.0
+        rendered = report.render()
+        assert "correct" in rendered
+
+    def test_failures_graded_incorrect(self, indexed_context, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])[:1]
+        suite[0].index = "nonexistent"
+        luna = Luna(indexed_context, planner_model="sim-oracle")
+        report = run_luna_suite(luna, suite)
+        assert report.outcomes[0].grade is Grade.INCORRECT
+        assert report.outcomes[0].error
+
+    def test_rag_suite_missing_pipeline(self, ntsb_corpus, earnings_corpus):
+        suite = build_full_suite(ntsb_corpus[0], earnings_corpus[0])[:2]
+        report = run_rag_suite({}, suite)
+        assert all(o.grade is Grade.INCORRECT for o in report.outcomes)

@@ -1,0 +1,109 @@
+"""Tests for query history and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.luna import Luna, QueryHistory
+
+
+class TestQueryHistory:
+    @pytest.fixture()
+    def luna(self, indexed_context):
+        return Luna(indexed_context, planner_model="sim-oracle", policy="quality")
+
+    def test_queries_recorded(self, luna):
+        assert len(luna.history) == 0
+        luna.query("How many incidents were caused by icing?", index="ntsb")
+        luna.query("How many incidents were caused by wind?", index="ntsb")
+        assert len(luna.history) == 2
+        assert luna.history.get(0).sequence == 0
+        assert "icing" in luna.history.get(0).result.question
+
+    def test_filter_by_index(self, luna):
+        luna.query("How many incidents were caused by icing?", index="ntsb")
+        luna.query("How many companies raised guidance?", index="earnings")
+        assert len(luna.history.entries(index="ntsb")) == 1
+        assert len(luna.history.entries(index="earnings")) == 1
+
+    def test_search(self, luna):
+        luna.query("How many incidents were caused by icing?", index="ntsb")
+        assert luna.history.search("ICING")
+        assert not luna.history.search("volcano")
+
+    def test_render_and_cost(self, luna):
+        assert luna.history.render() == "(no queries recorded)"
+        luna.query("How many incidents were caused by icing?", index="ntsb")
+        rendered = luna.history.render()
+        assert "#0" in rendered and "icing" in rendered
+        assert luna.history.total_cost_usd() >= 0.0
+
+    def test_replay_reproduces_answer(self, luna):
+        first = luna.query("How many incidents were caused by icing?", index="ntsb")
+        replayed = luna.history.replay(0, luna)
+        assert replayed.answer == first.answer
+        # the replay execution itself lands in the history
+        assert len(luna.history) == 2
+
+    def test_replay_reflects_edited_plan(self, luna):
+        session = luna.session("How many incidents were caused by icing?", index="ntsb")
+        filters = [
+            i
+            for i, n in enumerate(session.plan.nodes)
+            if n.operation in ("LlmFilter", "BasicFilter")
+        ]
+        for i in filters:
+            session.remove_filter(i)
+        edited = session.run()
+        replayed = luna.history.replay(len(luna.history) - 1, luna)
+        assert replayed.answer == edited.answer
+
+    def test_get_out_of_range(self, luna):
+        with pytest.raises(IndexError):
+            luna.history.get(5)
+        assert luna.history.last() is None
+
+
+class TestCLI:
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_partition_command(self, capsys):
+        assert main(["partition", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "elements" in out
+        assert "Title" in out
+
+    def test_query_command(self, capsys):
+        code = main(
+            [
+                "query",
+                "How many incidents were caused by icing?",
+                "--docs", "12",
+                "--seed", "2",
+                "--parallelism", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer:" in out
+        assert "plan:" in out
+
+    def test_query_explain_flag(self, capsys):
+        code = main(
+            [
+                "query",
+                "How many incidents were caused by wind?",
+                "--docs", "8",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Execution trace:" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--docs", "12", "--parallelism", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "math_operation" in out
+        assert "Answer:" in out

@@ -1,0 +1,140 @@
+"""Tests for the simulated models' world knowledge (concept lexicon etc.)."""
+
+import pytest
+
+from repro.llm import knowledge
+
+
+class TestConceptMatching:
+    def test_alias_longest_first(self):
+        # "environmental factors" must win over the bare "environmental".
+        assert knowledge.match_concepts("caused by environmental factors") == [
+            "environmental"
+        ]
+
+    def test_wind_condition(self):
+        assert "wind" in knowledge.match_concepts("due to wind")
+
+    def test_multiple_concepts(self):
+        concepts = knowledge.match_concepts("wind and icing incidents")
+        assert set(concepts) >= {"wind", "icing"}
+
+    def test_unknown_condition_empty(self):
+        assert knowledge.match_concepts("quarterly paperwork backlog") == []
+
+    def test_text_matches_concept_word_boundary(self):
+        assert knowledge.text_matches_concept("a strong gust hit", "wind")
+        # 'gusty' should match via its own keyword, not substring of gust
+        assert knowledge.text_matches_concept("gusty conditions", "wind")
+        # 'disgusting' must not match 'gust'
+        assert not knowledge.text_matches_concept("a disgusting mess", "wind")
+
+    def test_phrase_keywords(self):
+        assert knowledge.text_matches_concept(
+            "the engine failure occurred", "mechanical"
+        )
+        assert not knowledge.text_matches_concept("the engine ran fine", "mechanical")
+
+    def test_unknown_concept_false(self):
+        assert not knowledge.text_matches_concept("anything", "no_such_concept")
+
+
+class TestConditionHolds:
+    WIND_TEXT = "The airplane encountered a gusty crosswind during landing."
+    ENGINE_TEXT = "A fatigue crack caused a total loss of engine power."
+
+    def test_positive(self):
+        assert knowledge.condition_holds("caused by wind", self.WIND_TEXT)
+
+    def test_negative(self):
+        assert not knowledge.condition_holds("caused by icing", self.WIND_TEXT)
+
+    def test_negation(self):
+        assert not knowledge.condition_holds("not caused by wind", self.WIND_TEXT)
+        assert knowledge.condition_holds("not caused by wind", self.ENGINE_TEXT)
+
+    def test_conjunction_requires_all(self):
+        assert knowledge.condition_holds("wind and landing", self.WIND_TEXT)
+        assert not knowledge.condition_holds("wind and icing", self.WIND_TEXT)
+
+    def test_disjunction_any(self):
+        assert knowledge.condition_holds("icing or wind", self.WIND_TEXT)
+
+    def test_fallback_content_words(self):
+        assert knowledge.condition_holds(
+            "fatigue crack", self.ENGINE_TEXT
+        )
+        assert not knowledge.condition_holds("submarine voyage", self.ENGINE_TEXT)
+
+    def test_guidance_concepts(self):
+        assert knowledge.condition_holds(
+            "raised guidance", "Management raised guidance for the year."
+        )
+        assert not knowledge.condition_holds(
+            "raised guidance", "Management maintained its prior guidance."
+        )
+
+
+class TestSentiment:
+    def test_positive(self):
+        assert knowledge.sentiment_of("record revenue and strong demand") == "positive"
+
+    def test_negative(self):
+        assert (
+            knowledge.sentiment_of("weak demand and a headcount reduction")
+            == "negative"
+        )
+
+    def test_neutral(self):
+        assert knowledge.sentiment_of("the company filed its report") == "neutral"
+
+
+class TestStates:
+    def test_location_pattern_preferred(self):
+        assert knowledge.find_state("near Anchorage, AK on Tuesday") == "AK"
+
+    def test_full_name(self):
+        assert knowledge.find_state("incidents in New Mexico rose") == "NM"
+
+    def test_bare_abbreviation(self):
+        assert knowledge.find_state("the TX office") == "TX"
+
+    def test_no_state(self):
+        assert knowledge.find_state("no location here") is None
+
+    def test_not_fooled_by_random_capitals(self):
+        assert knowledge.find_state("the CEO spoke") is None
+
+
+class TestDatesAndNumbers:
+    def test_find_date(self):
+        assert knowledge.find_date("on May 3, 2023 the flight") == "2023-05-03"
+
+    def test_find_date_case_insensitive(self):
+        assert knowledge.find_date("ON MAY 3, 2023") == "2023-05-03"
+
+    def test_find_date_invalid_day(self):
+        assert knowledge.find_date("May 45, 2023") is None
+
+    def test_find_year_prefers_date(self):
+        assert knowledge.find_year("In 1999 style, on May 3, 2023") == 2023
+
+    def test_find_year_bare(self):
+        assert knowledge.find_year("the 2021 season") == 2021
+
+    def test_find_number_after(self):
+        assert knowledge.find_number_after("Fatal | 2", "fatal") == 2.0
+        assert knowledge.find_number_after("Revenue ($M) | 1,234.5", "revenue") == 1234.5
+
+    def test_find_number_skips_captions(self):
+        text = "Injuries\nTable 1. Injuries to persons."
+        assert knowledge.find_number_after(text, "injuries") is None
+
+    def test_find_number_does_not_cross_blocks(self):
+        text = "Injuries noted.\nAnalysis follows\nOn May 10, 2023"
+        assert knowledge.find_number_after(text, "injuries") is None
+
+    def test_extract_percentage(self):
+        assert knowledge.extract_percentage("grew 12.5% YoY") == 12.5
+        assert knowledge.extract_percentage("about 40 percent of cases") == 40.0
+        assert knowledge.extract_percentage("no numbers") is None

@@ -1,0 +1,123 @@
+"""Tests for the service-manual corpus and its QA workload (§2b)."""
+
+import pytest
+
+from repro.datagen import generate_manuals_corpus
+from repro.docmodel import TableElement
+from repro.partitioner import (
+    ArynPartitioner,
+    DetectorConfig,
+    NaiveTextPartitioner,
+    TableModelConfig,
+)
+from repro.sycamore import SycamoreContext
+
+_PERFECT = dict(
+    detector=DetectorConfig(
+        name="perfect", detect_prob=1.0, jitter_frac=0.0, label_confusion=0.0,
+        false_positives_per_page=0.0, confidence_noise=0.0,
+    ),
+    table_model=TableModelConfig(name="perfect-t", cell_miss_prob=0.0, row_merge_prob=0.0),
+)
+
+
+@pytest.fixture(scope="module")
+def manuals_corpus():
+    return generate_manuals_corpus(12, seed=7)
+
+
+class TestManualGeneration:
+    def test_deterministic(self):
+        a, docs_a = generate_manuals_corpus(4, seed=1)
+        b, docs_b = generate_manuals_corpus(4, seed=1)
+        assert [m.to_dict() for m in a] == [m.to_dict() for m in b]
+        assert [d.to_bytes() for d in docs_a] == [d.to_bytes() for d in docs_b]
+
+    def test_ground_truth_attached(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        for manual, doc in zip(manuals, docs):
+            assert doc.ground_truth == manual.to_dict()
+
+    def test_parts_rendered_in_tables(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        manual, raw = manuals[0], docs[0]
+        tables = [b for p in raw.pages for b in p.boxes if b.label == "Table"]
+        flat = "\n".join(t.table.to_text() for t in tables if t.table)
+        for part in manual.parts:
+            assert part.part_number in flat
+            assert part.name in flat
+
+    def test_scanned_appendix_only_via_ocr(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        pairs = [(m, d) for m, d in zip(manuals, docs) if m.has_scanned_appendix]
+        assert pairs, "corpus should include scanned appendices"
+        manual, raw = pairs[0]
+        assert "Legacy field note" not in raw.all_text()
+
+    def test_part_by_name(self, manuals_corpus):
+        manuals, _ = manuals_corpus
+        manual = manuals[0]
+        part = manual.parts[3]
+        assert manual.part_by_name(part.name) is part
+        assert manual.part_by_name("flux capacitor") is None
+
+
+class TestManualQA:
+    def _torque(self, document, part_name):
+        for element in document.elements:
+            if isinstance(element, TableElement):
+                values = element.table.lookup("Name", part_name, "Torque (Nm)")
+                if values:
+                    return float(values[0])
+        return None
+
+    def test_torque_lookup_exact_with_clean_models(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        partitioner = ArynPartitioner(seed=0, **_PERFECT)
+        for manual, raw in zip(manuals[:6], docs[:6]):
+            doc = partitioner.partition(raw)
+            for part in manual.parts[:4]:
+                assert self._torque(doc, part.name) == part.torque_nm
+
+    def test_torque_lookup_robust_under_default_noise(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        partitioner = ArynPartitioner(seed=0)
+        correct = total = 0
+        for manual, raw in zip(manuals, docs):
+            doc = partitioner.partition(raw)
+            for part in manual.parts[:3]:
+                total += 1
+                correct += self._torque(doc, part.name) == part.torque_nm
+        assert correct / total >= 0.8
+
+    def test_naive_partitioner_cannot_answer(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        naive = NaiveTextPartitioner()
+        doc = naive.partition(docs[0])
+        assert self._torque(doc, manuals[0].parts[0].name) is None
+
+    def test_ocr_reads_appendix(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        pairs = [(m, d) for m, d in zip(manuals, docs) if m.has_scanned_appendix]
+        manual, raw = pairs[0]
+        doc = ArynPartitioner(seed=0, **_PERFECT).partition(raw)
+        scanned_text = "\n".join(e.text for e in doc.images if e.text)
+        # OCR noise allowed, but the note must be recognisably recovered.
+        assert "egacy" in scanned_text or "field note" in scanned_text.lower()
+
+    def test_fleet_analytics(self, manuals_corpus):
+        manuals, docs = manuals_corpus
+        ctx = SycamoreContext(parallelism=4)
+        (
+            ctx.read.raw(docs)
+            .partition(ArynPartitioner(seed=0))
+            .extract_properties(
+                {"model_number": "string", "revision_year": "int"}, model="sim-oracle"
+            )
+            .write.index("manuals")
+        )
+        years = ctx.read.index("manuals").aggregate(
+            "count", "revision_year", group_by="revision_year"
+        )
+        recovered = int(sum(v for k, v in years.items() if k))
+        assert recovered >= len(manuals) - 2  # extraction is near-complete

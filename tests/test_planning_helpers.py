@@ -1,0 +1,132 @@
+"""Unit tests for the planner skill's internal parsing helpers and for
+plan-validation fuzzing (random JSON must never crash validation with
+anything but PlanValidationError)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.skills import planning
+from repro.luna import LogicalPlan, PlanValidationError
+
+
+class TestClauseSplitting:
+    def test_year_peeled(self):
+        clauses = planning._split_clauses("caused by icing in 2022")
+        assert "2022" in clauses
+        assert any("icing" in c for c in clauses)
+
+    def test_state_peeled(self):
+        clauses = planning._split_clauses("incidents in Alaska caused by wind")
+        assert any(c.startswith("in Alaska") for c in clauses)
+
+    def test_and_splits(self):
+        clauses = planning._split_clauses("caused by wind and involving fatalities")
+        assert len(clauses) == 2
+
+    def test_empty(self):
+        assert planning._split_clauses("") == []
+
+
+class TestDatasetNounDetection:
+    @pytest.mark.parametrize("phrase", ["incidents", "the reports", "all companies"])
+    def test_dataset_nouns(self, phrase):
+        assert planning._is_dataset_noun_phrase(phrase)
+
+    @pytest.mark.parametrize("phrase", ["wind incidents", "icing", ""])
+    def test_content_phrases(self, phrase):
+        assert not planning._is_dataset_noun_phrase(phrase)
+
+
+class TestLocationHelpers:
+    def test_state_in_clause(self):
+        assert planning._state_in_clause("incidents in Alaska") == "AK"
+        assert planning._state_in_clause("incidents in New Mexico") == "NM"
+        assert planning._state_in_clause("incidents in Cloud") is None
+
+    def test_strip_location(self):
+        assert planning._strip_location("incidents in Alaska caused by wind") == (
+            "incidents caused by wind"
+        )
+
+    def test_sector_in_clause(self):
+        assert planning._sector_in_clause("companies in the AI sector") == "AI"
+        assert planning._sector_in_clause("companies in the BNPL market") == "BNPL"
+        assert planning._sector_in_clause("companies in Texas") is None
+
+    def test_strip_sector(self):
+        stripped = planning._strip_sector("companies in the Cloud sector lowered guidance")
+        assert stripped == "companies lowered guidance"
+
+
+class TestJoinSuffix:
+    def _builder(self, fields):
+        return planning._PlanBuilder({"index": "p", "fields": fields}, None)
+
+    def test_peels_matching_suffix(self):
+        builder = self._builder({"company": "string"})
+        secondary = [{"index": "db", "fields": {"company": "string", "competitors": "list"}}]
+        base, join = planning._peel_join_suffix(
+            "List the companies and their competitors.", secondary, builder
+        )
+        assert base == "List the companies"
+        assert join == ("db", "company", "competitors")
+
+    def test_no_secondary_no_join(self):
+        builder = self._builder({"company": "string"})
+        question = "List the companies and their competitors."
+        base, join = planning._peel_join_suffix(question, [], builder)
+        assert join is None
+        assert base == question
+
+    def test_unserveable_noun_no_join(self):
+        builder = self._builder({"company": "string"})
+        secondary = [{"index": "db", "fields": {"company": "string"}}]
+        _, join = planning._peel_join_suffix(
+            "List the companies and their enemies.", secondary, builder
+        )
+        assert join is None
+
+    def test_no_shared_key_no_join(self):
+        builder = self._builder({"title": "string"})
+        secondary = [{"index": "db", "fields": {"company": "string", "competitors": "list"}}]
+        _, join = planning._peel_join_suffix(
+            "List the companies and their competitors.", secondary, builder
+        )
+        assert join is None
+
+
+json_scalars = st.none() | st.booleans() | st.integers(-5, 5) | st.text(max_size=8)
+node_dicts = st.dictionaries(
+    st.sampled_from(
+        ["operation", "inputs", "description", "field", "op", "value", "condition",
+         "index", "k", "fields", "expression", "func"]
+    ),
+    json_scalars | st.lists(st.integers(-2, 4), max_size=3),
+    max_size=6,
+)
+
+
+class TestValidationFuzz:
+    @given(st.lists(node_dicts, max_size=5))
+    @settings(max_examples=200, deadline=None)
+    def test_validate_raises_only_plan_errors(self, nodes):
+        try:
+            plan = LogicalPlan.from_json(nodes)
+            plan.validate()
+        except PlanValidationError:
+            return
+        # If validation passed, the plan must be structurally executable:
+        for index, node in enumerate(plan.nodes):
+            for input_index in node.inputs:
+                assert 0 <= input_index < index
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_from_json_garbage_strings(self, text):
+        try:
+            LogicalPlan.from_json(text)
+        except (PlanValidationError, json.JSONDecodeError):
+            pass

@@ -1,0 +1,234 @@
+"""Tests for the NL -> plan semantic parser (the simulated planner model)."""
+
+import json
+
+import pytest
+
+from repro.llm import PLAN_QUERY, ReliableLLM, SimulatedLLM
+
+NTSB_SCHEMA = json.dumps(
+    {
+        "index": "ntsb",
+        "fields": {
+            "state": "string",
+            "incident_year": "int",
+            "weather_related": "bool",
+            "injuries_fatal": "int",
+            "aircraft": "string",
+        },
+    }
+)
+EARNINGS_SCHEMA = json.dumps(
+    {
+        "index": "earnings",
+        "fields": {
+            "company": "string",
+            "sector": "string",
+            "revenue_musd": "float",
+            "revenue_growth_pct": "float",
+            "ceo_changed": "bool",
+        },
+    }
+)
+OPERATORS = (
+    "QueryIndex, BasicFilter, LlmFilter, LlmExtract, Count, Aggregate, "
+    "TopK, Sort, Limit, Project, Join, Math, Summarize, Identity"
+)
+
+
+@pytest.fixture()
+def planner():
+    llm = ReliableLLM(SimulatedLLM(seed=0))
+
+    def plan(question, schema=NTSB_SCHEMA):
+        prompt = PLAN_QUERY.render(question=question, schema=schema, operators=OPERATORS)
+        return llm.complete_json(prompt, model="sim-oracle")
+
+    return plan
+
+
+def ops(plan):
+    return [node["operation"] for node in plan]
+
+
+class TestPercentagePlans:
+    def test_paper_example_shape(self, planner):
+        plan = planner(
+            "What percent of environmentally caused incidents were due to wind?"
+        )
+        assert ops(plan) == [
+            "QueryIndex",
+            "LlmFilter",
+            "Count",
+            "LlmFilter",
+            "Count",
+            "Math",
+        ]
+        # numerator filter chains off the denominator's filtered set
+        assert plan[3]["inputs"] == [1]
+        assert "#4" in plan[5]["expression"] and "#2" in plan[5]["expression"]
+
+    def test_percent_of_all_records(self, planner):
+        plan = planner("What percent of incidents were caused by mechanical failure?")
+        # denominator is the whole index: no filter before the first Count
+        count_inputs = [n["inputs"] for n in plan if n["operation"] == "Count"]
+        assert count_inputs[0] == [0]
+
+
+class TestCountPlans:
+    def test_count_with_year_and_semantic_filter(self, planner):
+        plan = planner("How many incidents in 2022 were caused by icing?")
+        assert ops(plan)[0] == "QueryIndex"
+        assert "BasicFilter" in ops(plan)
+        assert ops(plan)[-1] == "Count"
+        basic = next(n for n in plan if n["operation"] == "BasicFilter")
+        assert basic["field"] == "incident_year"
+        assert basic["value"] == 2022
+
+    def test_count_with_state_filter(self, planner):
+        plan = planner("How many incidents in Texas were caused by engine failure?")
+        basic = next(n for n in plan if n["operation"] == "BasicFilter")
+        assert basic["field"] == "state"
+        assert basic["value"] == "TX"
+        assert any(n["operation"] == "LlmFilter" for n in plan)
+
+    def test_plain_count_uses_semantic_filter(self, planner):
+        plan = planner("How many incidents were caused by icing?")
+        assert ops(plan) == ["QueryIndex", "LlmFilter", "Count"]
+        assert "icing" in plan[1]["condition"]
+
+
+class TestGroupPlans:
+    def test_top_state(self, planner):
+        plan = planner("Which state had the most incidents caused by wind?")
+        top = plan[-1]
+        assert top["operation"] == "TopK"
+        assert top["field"] == "state"
+        assert top["descending"] is True
+
+    def test_sector_negative_sentiment(self, planner):
+        plan = planner(
+            "Which sector had the most companies with negative sentiment?",
+            schema=EARNINGS_SCHEMA,
+        )
+        assert plan[-1]["operation"] == "TopK"
+        assert plan[-1]["field"] == "sector"
+
+
+class TestAggregatePlans:
+    def test_average_growth_for_ceo_change(self, planner):
+        plan = planner(
+            "What was the average revenue growth of companies whose CEO recently changed?",
+            schema=EARNINGS_SCHEMA,
+        )
+        agg = plan[-1]
+        assert agg["operation"] == "Aggregate"
+        assert agg["func"] == "avg"
+        assert agg["field"] == "revenue_growth_pct"
+
+    def test_total_revenue_resolves_to_revenue_field(self, planner):
+        plan = planner(
+            "What was the total revenue of companies in the Healthcare sector?",
+            schema=EARNINGS_SCHEMA,
+        )
+        agg = plan[-1]
+        assert agg["func"] == "sum"
+        assert agg["field"] == "revenue_musd"
+        basic = next(n for n in plan if n["operation"] == "BasicFilter")
+        assert basic["value"] == "Healthcare"
+
+    def test_sum_fatal_injuries(self, planner):
+        plan = planner("What was the total fatal injuries across incidents in 2023?")
+        agg = plan[-1]
+        assert agg["field"] == "injuries_fatal"
+        years = [n for n in plan if n["operation"] == "BasicFilter"]
+        assert years and years[0]["value"] == 2023
+
+
+class TestOtherPlans:
+    def test_summarize(self, planner):
+        plan = planner("Summarize the incidents involving bird strikes.")
+        assert plan[-1]["operation"] == "Summarize"
+        assert any(n["operation"] == "LlmFilter" for n in plan)
+
+    def test_list_projection(self, planner):
+        plan = planner(
+            "List the companies whose CEO recently changed.", schema=EARNINGS_SCHEMA
+        )
+        assert plan[-1]["operation"] == "Project"
+        assert plan[-1]["fields"] == ["company"]
+
+    def test_fallback_rag_for_point_question(self, planner):
+        plan = planner("What happened to the seaplane at Lake Hood?")
+        assert ops(plan) == ["QueryIndex", "Limit", "Summarize"]
+        assert plan[0]["query"]  # retrieval, not a scan
+
+    def test_sector_filter_keeps_remaining_condition(self, planner):
+        plan = planner(
+            "How many companies in the Cloud sector lowered guidance?",
+            schema=EARNINGS_SCHEMA,
+        )
+        basic = next(n for n in plan if n["operation"] == "BasicFilter")
+        assert basic["value"] == "Cloud"
+        semantic = next(n for n in plan if n["operation"] == "LlmFilter")
+        assert "lowered guidance" in semantic["condition"]
+
+
+class TestOperatorRestriction:
+    def test_planner_respects_missing_operators(self):
+        llm = ReliableLLM(SimulatedLLM(seed=0))
+        prompt = PLAN_QUERY.render(
+            question="How many incidents were caused by icing?",
+            schema=NTSB_SCHEMA,
+            operators="QueryIndex, Count",  # no filters available
+        )
+        plan = llm.complete_json(prompt, model="sim-oracle")
+        assert [n["operation"] for n in plan] == ["QueryIndex", "Count"]
+
+
+class TestExtendedPatterns:
+    def test_top_n_with_number_word(self, planner):
+        plan = planner("Which three states had the most incidents caused by wind?")
+        top = plan[-1]
+        assert top["operation"] == "TopK"
+        assert top["k"] == 3
+
+    def test_top_n_with_digit(self, planner):
+        plan = planner("Which 2 states had the most incidents?")
+        assert plan[-1]["k"] == 2
+
+    def test_aggregate_group_by(self, planner):
+        plan = planner(
+            "What was the average revenue growth of companies per sector?",
+            schema=EARNINGS_SCHEMA,
+        )
+        agg = plan[-1]
+        assert agg["operation"] == "Aggregate"
+        assert agg["func"] == "avg"
+        assert agg["field"] == "revenue_growth_pct"
+        assert agg["group_by"] == "sector"
+
+    def test_aggregate_broken_down_by(self, planner):
+        plan = planner(
+            "What was the total revenue of companies broken down by sector?",
+            schema=EARNINGS_SCHEMA,
+        )
+        assert plan[-1]["group_by"] == "sector"
+
+    def test_year_range_filters(self, planner):
+        plan = planner("How many incidents happened between 2021 and 2022?")
+        basics = [n for n in plan if n["operation"] == "BasicFilter"]
+        assert [(b["op"], b["value"]) for b in basics] == [("ge", 2021), ("le", 2022)]
+        assert not any(n["operation"] == "LlmFilter" for n in plan)
+
+    def test_year_range_composes_with_state(self, planner):
+        plan = planner("How many incidents in Alaska happened between 2021 and 2022?")
+        basics = [(n["field"], n["op"]) for n in plan if n["operation"] == "BasicFilter"]
+        assert ("state", "eq") in basics
+        assert ("incident_year", "ge") in basics
+        assert ("incident_year", "le") in basics
+
+    def test_from_2021_to_2022_phrasing(self, planner):
+        plan = planner("How many incidents occurred from 2021 to 2022?")
+        basics = [n for n in plan if n["operation"] == "BasicFilter"]
+        assert len(basics) == 2

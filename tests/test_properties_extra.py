@@ -1,0 +1,127 @@
+"""Additional property-based tests: table merging, OCR, knowledge
+primitives, the data lake, and the flatten transform."""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.render import PageLayouter
+from repro.docmodel import Document, RawDocument, Table, merge_tables
+from repro.indexes import DataLake
+from repro.llm import knowledge
+from repro.partitioner import ACCURATE_OCR, OcrConfig, SimulatedOCR
+from repro.sycamore.docset import _flatten
+
+cell_text = st.text(alphabet="abc123 ", max_size=6)
+
+
+@st.composite
+def simple_tables(draw, min_rows=1, max_rows=4, n_cols=None):
+    cols = n_cols if n_cols is not None else draw(st.integers(1, 3))
+    rows = [
+        [draw(cell_text) for _ in range(cols)]
+        for _ in range(draw(st.integers(min_rows, max_rows)))
+    ]
+    return Table.from_rows(rows, header=draw(st.booleans()))
+
+
+class TestTableMergeProperties:
+    @given(simple_tables(n_cols=2), simple_tables(n_cols=2))
+    def test_merge_preserves_all_rows(self, first, second):
+        merged = merge_tables(first, second)
+        # Either all rows survive, or exactly one repeated-header row was
+        # dropped (when the second fragment begins with the same header).
+        total = first.num_rows + second.num_rows
+        assert merged.num_rows in (total, total - 1)
+        merged.validate()
+
+    @given(simple_tables())
+    def test_merge_with_empty_is_identity_on_rows(self, table):
+        merged = merge_tables(table, Table())
+        assert merged.to_grid() == table.to_grid()
+
+    @given(simple_tables(n_cols=3))
+    def test_merge_keeps_first_header(self, table):
+        continuation = Table.from_rows([["x", "y", "z"]], header=False)
+        merged = merge_tables(table, continuation)
+        assert merged.header_rows() == table.header_rows()
+
+
+class TestOcrProperties:
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=120), st.integers(0, 5))
+    def test_deterministic_per_seed(self, text, seed):
+        a = SimulatedOCR(ACCURATE_OCR, seed=seed).corrupt(text, random.Random(seed))
+        b = SimulatedOCR(ACCURATE_OCR, seed=seed).corrupt(text, random.Random(seed))
+        assert a == b
+
+    @given(st.text(alphabet=string.ascii_letters, max_size=120))
+    def test_perfect_ocr_is_identity(self, text):
+        perfect = OcrConfig(name="perfect", char_error_rate=0.0, drop_rate=0.0)
+        assert SimulatedOCR(perfect).corrupt(text, random.Random(0)) == text
+
+    @given(st.text(alphabet=string.ascii_letters + " .,", max_size=120))
+    def test_output_never_longer(self, text):
+        corrupted = SimulatedOCR(ACCURATE_OCR).corrupt(text, random.Random(1))
+        assert len(corrupted) <= len(text)
+
+
+class TestKnowledgeProperties:
+    @given(st.text(max_size=60))
+    def test_condition_holds_total(self, text):
+        # No input text may crash the semantic primitive.
+        assert knowledge.condition_holds("caused by wind", text) in (True, False)
+
+    @given(st.text(max_size=60))
+    def test_negation_inverts_on_concept_conditions(self, text):
+        positive = knowledge.condition_holds("caused by wind", text)
+        negative = knowledge.condition_holds("not caused by wind", text)
+        assert positive != negative
+
+    @given(st.sampled_from(sorted(knowledge.CONCEPT_KEYWORDS)))
+    def test_every_concept_keyword_triggers_it(self, concept):
+        keyword = sorted(knowledge.CONCEPT_KEYWORDS[concept])[0]
+        assert knowledge.text_matches_concept(f"report mentions {keyword} here", concept)
+
+
+class TestDataLakeProperties:
+    @given(doc_ids=st.lists(st.uuids().map(lambda u: u.hex), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_many(self, tmp_path_factory, doc_ids):
+        lake = DataLake(tmp_path_factory.mktemp("lake"))
+        docs = []
+        for doc_id in doc_ids:
+            layout = PageLayouter()
+            layout.add_title(f"Doc {doc_id[:6]}")
+            docs.append(layout.build(doc_id))
+        lake.write_many(docs)
+        assert lake.doc_ids() == sorted(doc_ids)
+        for doc in docs:
+            assert lake.read(doc.doc_id).to_bytes() == doc.to_bytes()
+
+
+json_leaf = st.none() | st.booleans() | st.integers(-5, 5) | st.text(max_size=6)
+nested_props = st.recursive(
+    json_leaf,
+    lambda children: st.dictionaries(
+        st.text(alphabet="abcde", min_size=1, max_size=4), children, max_size=3
+    ),
+    max_leaves=10,
+)
+
+
+class TestFlattenProperties:
+    @given(st.dictionaries(st.text(alphabet="xyz", min_size=1, max_size=4), nested_props, max_size=4))
+    def test_flatten_preserves_leaves(self, properties):
+        flat = _flatten(properties, ".")
+        # No nested non-empty dict values remain.
+        assert not any(isinstance(v, dict) and v for v in flat.values())
+
+        def count_leaves(value):
+            if isinstance(value, dict) and value:
+                return sum(count_leaves(v) for v in value.values())
+            return 1
+
+        assert len(flat) == sum(count_leaves(v) for v in properties.values())

@@ -1,0 +1,119 @@
+"""Tests for the RAG baseline — including its designed failure modes."""
+
+import pytest
+
+from repro.docmodel import Document
+from repro.embedding import HashingEmbedder
+from repro.indexes import IndexCatalog
+from repro.llm import ReliableLLM, SimulatedLLM
+from repro.rag import RagPipeline
+
+
+@pytest.fixture()
+def rag_setup():
+    catalog = IndexCatalog(embedder=HashingEmbedder(dimensions=128))
+    index = catalog.create("chunks")
+    docs = [
+        Document.from_text(
+            "Incident report one. The airplane encountered a gusty crosswind "
+            "during landing near Anchorage, AK and sustained substantial damage."
+        ),
+        Document.from_text(
+            "Incident report two. A fatigue crack caused a total loss of engine "
+            "power near Houston, TX shortly after takeoff."
+        ),
+        Document.from_text(
+            "Incident report three. Severe icing conditions degraded lift "
+            "during cruise over Denver, CO."
+        ),
+    ]
+    RagPipeline.ingest(index, docs, chunk_tokens=40)
+    llm = ReliableLLM(SimulatedLLM(seed=0))
+    return index, llm, docs
+
+
+class TestIngest:
+    def test_chunks_written_with_provenance(self, rag_setup):
+        index, _, docs = rag_setup
+        assert len(index) >= len(docs)
+        chunk = next(iter(index.docstore.scan()))
+        assert chunk.properties["source_doc_id"] in {d.doc_id for d in docs}
+        assert chunk.parent_id == chunk.properties["source_doc_id"]
+
+    def test_long_document_splits(self):
+        catalog = IndexCatalog()
+        index = catalog.create("c")
+        long_doc = Document.from_text("word " * 2000)
+        n = RagPipeline.ingest(index, [long_doc], chunk_tokens=100)
+        assert n > 10
+
+
+class TestRetrieval:
+    def test_vector_retrieval_relevant_first(self, rag_setup):
+        index, llm, _ = rag_setup
+        rag = RagPipeline(index, llm, retrieval="vector", top_k=2)
+        chunks = rag.retrieve("crosswind during landing")
+        assert "crosswind" in chunks[0].text
+
+    def test_keyword_retrieval(self, rag_setup):
+        index, llm, _ = rag_setup
+        rag = RagPipeline(index, llm, retrieval="keyword", top_k=2)
+        chunks = rag.retrieve("fatigue crack engine")
+        assert "fatigue crack" in chunks[0].text
+
+    def test_hybrid_retrieval(self, rag_setup):
+        index, llm, _ = rag_setup
+        rag = RagPipeline(index, llm, retrieval="hybrid", top_k=2)
+        chunks = rag.retrieve("icing during cruise")
+        assert any("icing" in c.text for c in chunks)
+
+
+class TestAnswering:
+    def test_point_lookup_succeeds(self, rag_setup):
+        index, llm, _ = rag_setup
+        rag = RagPipeline(index, llm, model="sim-oracle", top_k=3)
+        answer = rag.answer("What caused the incident near Houston?")
+        assert "fatigue crack" in answer.answer or "engine" in answer.answer
+
+    def test_provenance_points_to_source(self, rag_setup):
+        index, llm, docs = rag_setup
+        rag = RagPipeline(index, llm, model="sim-oracle", top_k=2)
+        answer = rag.answer("What happened near Anchorage?")
+        sources = rag.provenance(answer)
+        assert docs[0].doc_id in sources
+
+    def test_counting_limited_by_top_k(self, rag_setup):
+        """The keyhole problem: RAG can only count what it retrieved."""
+        index, llm, _ = rag_setup
+        # Add many more wind incidents than top_k can see.
+        extra = [
+            Document.from_text(
+                f"Incident extra-{i}. Another strong crosswind event near "
+                f"Fairbanks, AK damaged a parked airplane."
+            )
+            for i in range(20)
+        ]
+        RagPipeline.ingest(index, extra, chunk_tokens=40)
+        rag = RagPipeline(index, llm, model="sim-oracle", top_k=5)
+        answer = rag.answer("How many incidents were caused by wind?")
+        count = int(answer.answer)
+        assert count <= 5  # structurally cannot see all 21
+
+    def test_empty_index_does_not_know(self):
+        catalog = IndexCatalog()
+        index = catalog.create("empty")
+        rag = RagPipeline(index, ReliableLLM(SimulatedLLM(seed=0)), model="sim-oracle")
+        answer = rag.answer("What happened?")
+        assert "do not know" in answer.answer.lower()
+
+
+class TestContextWindow:
+    def test_packing_respects_window(self, rag_setup):
+        index, llm, _ = rag_setup
+        big = [Document.from_text("filler words " * 1500) for _ in range(8)]
+        RagPipeline.ingest(index, big, chunk_tokens=2000)
+        rag = RagPipeline(index, llm, model="sim-small", top_k=8)  # 8k window
+        answer = rag.answer("filler words question")
+        assert answer.truncated
+        assert answer.context_tokens < 8000
+        assert len(answer.retrieved_chunk_ids) < 8

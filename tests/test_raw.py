@@ -1,0 +1,87 @@
+"""Unit tests for the raw document format (the PDF stand-in)."""
+
+from repro.docmodel import (
+    BoundingBox,
+    RawBox,
+    RawDocument,
+    RawPage,
+    RawTextRun,
+    Table,
+)
+
+
+def _page_with_text_and_scan() -> RawPage:
+    visible = RawBox(
+        label="Text",
+        bbox=BoundingBox(0, 0, 100, 20),
+        runs=[RawTextRun("hello world", BoundingBox(0, 0, 100, 10))],
+    )
+    scanned = RawBox(
+        label="Picture",
+        bbox=BoundingBox(0, 30, 100, 60),
+        runs=[RawTextRun("hidden text", BoundingBox(0, 30, 100, 40))],
+        scanned=True,
+    )
+    return RawPage(boxes=[visible, scanned])
+
+
+class TestRawPage:
+    def test_text_runs_exclude_scanned(self):
+        page = _page_with_text_and_scan()
+        texts = [run.text for run in page.text_runs()]
+        assert texts == ["hello world"]
+
+    def test_box_text_joins_runs(self):
+        box = RawBox(
+            label="Text",
+            bbox=BoundingBox(0, 0, 10, 10),
+            runs=[
+                RawTextRun("line one", BoundingBox(0, 0, 10, 5)),
+                RawTextRun("line two", BoundingBox(0, 5, 10, 10)),
+            ],
+        )
+        assert box.text() == "line one\nline two"
+
+
+class TestRawDocument:
+    def test_all_text_skips_scanned(self):
+        doc = RawDocument(doc_id="d1", pages=[_page_with_text_and_scan()])
+        assert "hello world" in doc.all_text()
+        assert "hidden text" not in doc.all_text()
+
+    def test_bytes_roundtrip(self):
+        table = Table.from_rows([["H"], ["v"]])
+        box = RawBox(
+            label="Table",
+            bbox=BoundingBox(0, 0, 50, 50),
+            table=table,
+            continues_previous=True,
+        )
+        image = RawBox(
+            label="Picture",
+            bbox=BoundingBox(0, 60, 50, 90),
+            image_format="png",
+            image_width_px=64,
+            image_height_px=32,
+            image_description="a diagram",
+        )
+        doc = RawDocument(
+            doc_id="d2",
+            pages=[RawPage(boxes=[box, image])],
+            source_path="/tmp/x.raw",
+            ground_truth={"cause": "wind"},
+        )
+        restored = RawDocument.from_bytes(doc.to_bytes())
+        assert restored.doc_id == "d2"
+        assert restored.source_path == "/tmp/x.raw"
+        assert restored.ground_truth == {"cause": "wind"}
+        rbox = restored.pages[0].boxes[0]
+        assert rbox.continues_previous
+        assert rbox.table.to_grid() == table.to_grid()
+        rimg = restored.pages[0].boxes[1]
+        assert rimg.image_description == "a diagram"
+        assert rimg.image_width_px == 64
+
+    def test_num_pages(self):
+        doc = RawDocument(doc_id="d", pages=[RawPage(), RawPage()])
+        assert doc.num_pages() == 2

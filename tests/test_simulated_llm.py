@@ -1,0 +1,130 @@
+"""Tests for the simulated LLM backend: determinism, tiers, failure modes."""
+
+import json
+
+import pytest
+
+from repro.llm import (
+    ContextWindowExceededError,
+    CostTracker,
+    EXTRACT_PROPERTIES,
+    FILTER_DOCUMENT,
+    RateLimitError,
+    SimulatedLLM,
+    TransientLLMError,
+)
+
+DOC = """Location: Anchorage, AK
+Date: May 3, 2023
+Aircraft: Cessna 172
+
+Analysis
+The pilot reported a strong gusty crosswind during landing.
+Probable Cause: The pilot's failure to compensate for the gusty crosswind
+during landing, which resulted in a loss of directional control.
+"""
+
+
+class TestDeterminism:
+    def test_same_prompt_same_output(self):
+        llm = SimulatedLLM(seed=5)
+        prompt = FILTER_DOCUMENT.render(condition="caused by wind", document=DOC)
+        first = llm.complete(prompt, model="sim-small").text
+        second = llm.complete(prompt, model="sim-small").text
+        assert first == second
+
+    def test_different_seeds_can_differ_in_noise_draws(self):
+        # The oracle ignores noise, so outputs agree; noisy tiers are
+        # seeded per (seed, model, prompt) and may legitimately differ.
+        prompt = FILTER_DOCUMENT.render(condition="caused by wind", document=DOC)
+        a = SimulatedLLM(seed=1).complete(prompt, model="sim-oracle").text
+        b = SimulatedLLM(seed=2).complete(prompt, model="sim-oracle").text
+        assert a == b == "yes"
+
+
+class TestCompletionBasics:
+    def test_usage_and_latency_populated(self):
+        tracker = CostTracker()
+        llm = SimulatedLLM(seed=0, tracker=tracker)
+        prompt = FILTER_DOCUMENT.render(condition="caused by wind", document=DOC)
+        response = llm.complete(prompt, model="sim-large")
+        assert response.usage.input_tokens > 0
+        assert response.usage.output_tokens > 0
+        assert response.latency_s > 0
+        assert tracker.summary().calls == 1
+
+    def test_context_window_enforced(self):
+        llm = SimulatedLLM(seed=0)
+        huge = "word " * 10_000
+        with pytest.raises(ContextWindowExceededError):
+            llm.complete(huge, model="sim-small")  # 8k window
+
+    def test_max_output_tokens_truncates(self):
+        llm = SimulatedLLM(seed=0)
+        prompt = EXTRACT_PROPERTIES.render(
+            schema=json.dumps({"probable_cause": "string"}), document=DOC
+        )
+        response = llm.complete(prompt, model="sim-oracle", max_output_tokens=3)
+        assert response.usage.output_tokens <= 3
+
+    def test_free_form_prompt_gets_generic_answer(self):
+        llm = SimulatedLLM(seed=0)
+        response = llm.complete("Tell me about the weather today.")
+        assert isinstance(response.text, str)
+        assert response.text
+
+
+class TestQualityTiers:
+    def _extraction_accuracy(self, model: str, n: int = 40) -> float:
+        llm = SimulatedLLM(seed=3)
+        schema = json.dumps({"us_state": "string", "weather_related": "bool"})
+        correct = 0
+        for i in range(n):
+            doc = DOC + f"\nReport number {i}."  # vary prompts
+            prompt = EXTRACT_PROPERTIES.render(schema=schema, document=doc)
+            result = json.loads(llm.complete(prompt, model=model).text)
+            if result.get("us_state") == "AK" and result.get("weather_related") is True:
+                correct += 1
+        return correct / n
+
+    def test_oracle_is_perfect(self):
+        assert self._extraction_accuracy("sim-oracle") == 1.0
+
+    def test_small_model_is_noisier_than_large(self):
+        large = self._extraction_accuracy("sim-large")
+        small = self._extraction_accuracy("sim-small")
+        assert large >= small
+        assert small < 1.0
+
+
+class TestFailureInjection:
+    def test_transient_failures_raised(self):
+        llm = SimulatedLLM(seed=0, failure_rate=1.0)
+        with pytest.raises(TransientLLMError):
+            llm.complete("hello", model="sim-large")
+
+    def test_rate_limit_every_n(self):
+        llm = SimulatedLLM(seed=0, rate_limit_every=3)
+        llm.complete("a")
+        llm.complete("b")
+        with pytest.raises(RateLimitError):
+            llm.complete("c")
+        llm.complete("d")  # counter moved on
+
+    def test_malformed_output_truncates(self):
+        clean = SimulatedLLM(seed=0)
+        broken = SimulatedLLM(seed=0, malformed_rate=1.0)
+        prompt = EXTRACT_PROPERTIES.render(
+            schema=json.dumps({"us_state": "string"}), document=DOC
+        )
+        good = clean.complete(prompt, model="sim-oracle").text
+        bad = broken.complete(prompt, model="sim-oracle").text
+        assert len(bad) < len(good)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(bad)
+
+    def test_call_counter(self):
+        llm = SimulatedLLM(seed=0)
+        llm.complete("x")
+        llm.complete("y")
+        assert llm.calls == 2

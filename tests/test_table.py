@@ -1,0 +1,155 @@
+"""Unit tests for the Table structure."""
+
+import pytest
+
+from repro.docmodel import BoundingBox, Table, TableCell, merge_tables
+
+
+class TestTableCell:
+    def test_covered_slots_with_spans(self):
+        cell = TableCell(row=1, col=2, text="x", rowspan=2, colspan=2)
+        assert set(cell.covered_slots()) == {(1, 2), (1, 3), (2, 2), (2, 3)}
+
+    def test_invalid_anchor(self):
+        with pytest.raises(ValueError):
+            TableCell(row=-1, col=0, text="x")
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            TableCell(row=0, col=0, text="x", rowspan=0)
+
+    def test_dict_roundtrip_with_bbox(self):
+        cell = TableCell(row=0, col=1, text="v", bbox=BoundingBox(0, 0, 1, 1))
+        restored = TableCell.from_dict(cell.to_dict())
+        assert restored == cell
+
+
+class TestTableShape:
+    def test_dimensions(self, simple_table):
+        assert simple_table.num_rows == 3
+        assert simple_table.num_cols == 2
+
+    def test_empty_table(self):
+        table = Table()
+        assert table.num_rows == 0
+        assert table.num_cols == 0
+        assert table.to_grid() == []
+
+    def test_cell_at(self, simple_table):
+        assert simple_table.cell_at(1, 0).text == "alpha"
+        assert simple_table.cell_at(5, 5) is None
+
+    def test_cell_at_spanned_slot(self):
+        table = Table(cells=[TableCell(row=0, col=0, text="wide", colspan=3)])
+        assert table.cell_at(0, 2).text == "wide"
+
+    def test_validate_rejects_overlap(self):
+        table = Table(
+            cells=[
+                TableCell(row=0, col=0, text="a", colspan=2),
+                TableCell(row=0, col=1, text="b"),
+            ]
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            table.validate()
+
+
+class TestHeadersAndRecords:
+    def test_header_rows(self, simple_table):
+        assert simple_table.header_rows() == [0]
+
+    def test_column_names(self, simple_table):
+        assert simple_table.column_names() == ["Name", "Value"]
+
+    def test_column_names_fallback(self):
+        table = Table.from_rows([["a", "b"]], header=False)
+        assert table.column_names() == ["col_0", "col_1"]
+
+    def test_to_records(self, simple_table):
+        assert simple_table.to_records() == [
+            {"Name": "alpha", "Value": "1"},
+            {"Name": "beta", "Value": "2"},
+        ]
+
+    def test_body_rows_exclude_header(self, simple_table):
+        assert simple_table.body_rows() == [["alpha", "1"], ["beta", "2"]]
+
+    def test_lookup(self, simple_table):
+        assert simple_table.lookup("name", "beta", "value") == ["2"]
+        assert simple_table.lookup("name", "missing", "value") == []
+        assert simple_table.lookup("nope", "beta", "value") == []
+
+
+class TestRendering:
+    def test_to_csv(self, simple_table):
+        lines = simple_table.to_csv().strip().splitlines()
+        assert lines == ["Name,Value", "alpha,1", "beta,2"]
+
+    def test_to_text(self, simple_table):
+        assert "alpha | 1" in simple_table.to_text()
+
+    def test_to_html_basic(self, simple_table):
+        html = simple_table.to_html()
+        assert "<caption>test table</caption>" in html
+        assert "<th>Name</th>" in html
+        assert "<td>alpha</td>" in html
+
+    def test_to_html_spans_and_escaping(self):
+        table = Table(
+            cells=[
+                TableCell(row=0, col=0, text="a<b", colspan=2),
+                TableCell(row=1, col=0, text="x"),
+                TableCell(row=1, col=1, text="y"),
+            ]
+        )
+        html = table.to_html()
+        assert 'colspan="2"' in html
+        assert "a&lt;b" in html
+        # spanned slot must not also render an empty cell in row 0
+        assert html.count("<tr>") == 2
+
+    def test_grid_repeats_spanned_text(self):
+        table = Table(cells=[TableCell(row=0, col=0, text="w", colspan=2)])
+        assert table.to_grid() == [["w", "w"]]
+
+
+class TestSerde:
+    def test_roundtrip(self, simple_table):
+        restored = Table.from_dict(simple_table.to_dict())
+        assert restored.to_grid() == simple_table.to_grid()
+        assert restored.caption == simple_table.caption
+        assert restored.header_rows() == simple_table.header_rows()
+
+
+class TestMerge:
+    def test_merge_continuation_without_header(self):
+        first = Table.from_rows([["H1", "H2"], ["a", "1"]])
+        second = Table.from_rows([["b", "2"], ["c", "3"]], header=False)
+        merged = merge_tables(first, second)
+        assert merged.num_rows == 4
+        assert merged.to_records() == [
+            {"H1": "a", "H2": "1"},
+            {"H1": "b", "H2": "2"},
+            {"H1": "c", "H2": "3"},
+        ]
+
+    def test_merge_drops_repeated_header(self):
+        first = Table.from_rows([["H1", "H2"], ["a", "1"]])
+        second = Table.from_rows([["H1", "H2"], ["b", "2"]])
+        merged = merge_tables(first, second)
+        assert merged.num_rows == 3
+        assert merged.to_grid()[2] == ["b", "2"]
+        # only one header row
+        assert merged.header_rows() == [0]
+
+    def test_merge_keeps_caption_of_first(self):
+        first = Table.from_rows([["H"], ["a"]], caption="cap")
+        second = Table.from_rows([["b"]], header=False)
+        assert merge_tables(first, second).caption == "cap"
+
+    def test_merge_different_widths_appends_raw(self):
+        first = Table.from_rows([["H1", "H2"], ["a", "1"]])
+        second = Table.from_rows([["x", "y", "z"]], header=False)
+        merged = merge_tables(first, second)
+        assert merged.num_rows == 3
+        assert merged.num_cols == 3
