@@ -11,6 +11,12 @@ Commands
 ``partition``
     Show the Aryn Partitioner's element inventory for one synthetic
     report (the Figure-2 view).
+``chaos``
+    Run a query while a seeded fault schedule batters the LLM backend
+    (transient errors, rate limits, malformed output, an optional
+    brownout window). Demonstrates failure containment: the run
+    completes with a partial answer and a dead-letter report instead of
+    crashing.
 
 All commands are offline and deterministic for a given ``--seed``.
 """
@@ -23,6 +29,7 @@ from typing import List, Optional
 
 from . import ArynPartitioner, Luna, SycamoreContext
 from .datagen import generate_earnings_corpus, generate_ntsb_corpus
+from .faults import BrownoutWindow, FaultInjector, FaultSchedule
 
 _NTSB_SCHEMA = {
     "state": "string",
@@ -86,6 +93,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+
+    brownouts = [args.brownout] if args.brownout else []
+    try:
+        schedule = FaultSchedule(
+            seed=args.fault_seed,
+            transient_rate=args.transient_rate,
+            rate_limit_rate=args.rate_limit_rate,
+            malformed_rate=args.malformed_rate,
+            brownouts=tuple(brownouts),
+        )
+    except ValueError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    injector = FaultInjector(schedule)
+    # Inject between the reliability layer and the backend: the ETL build
+    # above ran clean; only query-time traffic sees the weather.
+    ctx.llm.backend = injector.wrap_llm(ctx.llm.backend)
+
+    luna = Luna(ctx, policy=args.policy, error_policy="dead_letter")
+    result = luna.query(args.question, index=args.dataset)
+    print("plan:")
+    print(result.optimized_plan.to_natural_language())
+    print(f"\nanswer: {result.answer}")
+    print(f"partial: {result.partial}")
+    print(f"faults: {injector.report()}")
+    print(
+        f"dead-lettered: {result.trace.total_dead_lettered()}  "
+        f"skipped: {result.trace.total_skipped()}  "
+        f"degraded operators: {len(result.trace.errors)}"
+    )
+    for line in result.trace.errors:
+        print(f"  - {line}")
+    print(f"llm metrics: {ctx.llm.metrics()}")
+    return 0
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     _, raws = generate_ntsb_corpus(1, seed=args.seed)
     doc = ArynPartitioner(seed=args.seed).partition(raws[0])
@@ -95,6 +141,19 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         page = f"p{element.page}" if element.page is not None else "--"
         print(f"  [{page}] {element.type:<15} {preview}")
     return 0
+
+
+def _parse_brownout(value: str) -> BrownoutWindow:
+    start, sep, end = value.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return BrownoutWindow(int(start), int(end))
+    except ValueError as exc:
+        detail = f" ({exc})" if str(exc) else ""
+        raise argparse.ArgumentTypeError(
+            f"expected START:END call-index window, e.g. 5:25; got {value!r}{detail}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +189,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true", help="print the full audit trail"
     )
     query.set_defaults(handler=_cmd_query)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a query under seeded fault injection"
+    )
+    common(chaos)
+    chaos.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    chaos.add_argument("--dataset", choices=("ntsb", "earnings"), default="ntsb")
+    chaos.add_argument("--fault-seed", type=int, default=42, help="fault schedule seed")
+    chaos.add_argument("--transient-rate", type=float, default=0.15)
+    chaos.add_argument("--rate-limit-rate", type=float, default=0.05)
+    chaos.add_argument("--malformed-rate", type=float, default=0.05)
+    chaos.add_argument(
+        "--brownout",
+        type=_parse_brownout,
+        default=None,
+        metavar="START:END",
+        help="call-index window of 100%% transient failures, e.g. 5:25",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     partition = sub.add_parser(
         "partition", help="show the partitioner's output for one report"

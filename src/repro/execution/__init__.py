@@ -2,12 +2,20 @@
 lineage. The repository's Ray stand-in (see DESIGN.md §1).
 """
 
-from .executor import ExecutionStats, Executor, NodeStats, TaskError
+from .executor import (
+    DeadLetter,
+    ExecutionStats,
+    Executor,
+    NodeStats,
+    ON_ERROR_POLICIES,
+    TaskError,
+)
 from .lineage import Lineage, LineageEdge
 from .materialize import DiskCache, MemoryCache
 from .plan import Plan, PlanNode
 
 __all__ = [
+    "DeadLetter",
     "DiskCache",
     "ExecutionStats",
     "Executor",
@@ -15,6 +23,7 @@ __all__ = [
     "LineageEdge",
     "MemoryCache",
     "NodeStats",
+    "ON_ERROR_POLICIES",
     "Plan",
     "PlanNode",
     "TaskError",

@@ -30,6 +30,32 @@ class TaskError(Exception):
         self.cause = cause
 
 
+#: Valid per-node failure-containment policies. ``fail`` aborts on the
+#: first failure (no retries); ``retry`` retries then aborts (the
+#: historical default); ``skip`` retries then silently drops the record;
+#: ``dead_letter`` retries then captures (record, node, cause) in the
+#: run's dead-letter queue and drops the record from the output.
+ON_ERROR_POLICIES = ("fail", "retry", "skip", "dead_letter")
+
+#: Sentinel emitted by a contained failure; filtered out before yield.
+_DROPPED = object()
+
+
+@dataclass
+class DeadLetter:
+    """One record that failed terminally under a ``dead_letter`` policy."""
+
+    node_name: str
+    record: Any
+    cause: Exception
+
+    def __repr__(self) -> str:  # keep stats reprs readable
+        return (
+            f"DeadLetter(node={self.node_name!r}, "
+            f"record={self.record!r}, cause={self.cause!r})"
+        )
+
+
 @dataclass
 class NodeStats:
     """Per-node execution counters."""
@@ -37,6 +63,8 @@ class NodeStats:
     records_in: int = 0
     records_out: int = 0
     retries: int = 0
+    skipped: int = 0
+    dead_lettered: int = 0
     wall_time_s: float = 0.0
 
 
@@ -45,6 +73,8 @@ class ExecutionStats:
     """Statistics for one plan execution, keyed by node name."""
 
     nodes: Dict[str, NodeStats] = field(default_factory=dict)
+    #: Records dropped under a ``dead_letter`` policy, in failure order.
+    dead_letters: List[DeadLetter] = field(default_factory=list)
 
     def node(self, name: str) -> NodeStats:
         """Per-node stats record (created on first access)."""
@@ -53,6 +83,14 @@ class ExecutionStats:
     def total_records_out(self, name: str) -> int:
         """Records emitted by the named node."""
         return self.nodes.get(name, NodeStats()).records_out
+
+    def total_dead_lettered(self) -> int:
+        """Records captured in the dead-letter queue this run."""
+        return len(self.dead_letters)
+
+    def total_skipped(self) -> int:
+        """Records silently dropped under a ``skip`` policy this run."""
+        return sum(stats.skipped for stats in self.nodes.values())
 
 
 class Executor:
@@ -63,8 +101,12 @@ class Executor:
     parallelism:
         Worker threads for per-record operators. 1 = fully sequential.
     max_task_retries:
-        How many times a failing per-record task is retried before the
-        execution is abandoned with :class:`TaskError`.
+        How many times a failing per-record task is retried before its
+        node's ``on_error`` policy decides the record's fate.
+    on_error:
+        Default failure-containment policy for nodes that do not carry
+        their own (see :data:`ON_ERROR_POLICIES`). ``retry`` preserves
+        the historical abort-after-retries behaviour.
     lineage:
         Optional :class:`Lineage` tracker; when given, map/flat_map over
         objects with a ``doc_id`` records derivation edges.
@@ -79,15 +121,21 @@ class Executor:
         max_task_retries: int = 0,
         lineage: Optional[Lineage] = None,
         batch_size: int = 32,
+        on_error: str = "retry",
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error policy {on_error!r}; known: {ON_ERROR_POLICIES}"
+            )
         self.parallelism = parallelism
         self.max_task_retries = max_task_retries
         self.lineage = lineage
         self.batch_size = batch_size
+        self.on_error = on_error
         self.last_stats: Optional[ExecutionStats] = None
 
     # ------------------------------------------------------------------
@@ -184,7 +232,7 @@ class Executor:
         for record in upstream:
             node_stats.records_in += 1
             start = time.perf_counter()
-            result = self._apply_with_retry(node, record, node_stats)
+            result = self._apply_with_retry(node, record, node_stats, stats)
             node_stats.wall_time_s += time.perf_counter() - start
             yield from self._emit(node, record, result, mode, node_stats)
 
@@ -213,14 +261,23 @@ class Executor:
                     index = submitted
                     submitted += 1
                     inputs[index] = record
-                    future = pool.submit(self._apply_with_retry, node, record, node_stats)
+                    future = pool.submit(
+                        self._apply_with_retry, node, record, node_stats, stats
+                    )
                     future.index = index  # type: ignore[attr-defined]
                     pending.append(future)
                 if pending:
                     done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
                     pending = list(still_pending)
                     for future in done:
-                        results[future.index] = future.result()  # type: ignore[attr-defined]
+                        try:
+                            results[future.index] = future.result()  # type: ignore[attr-defined]
+                        except BaseException:
+                            # Abort: don't leave queued work running after
+                            # the node is already dead.
+                            for other in pending:
+                                other.cancel()
+                            raise
                 # Yield in input order to keep execution deterministic.
                 while next_to_yield in results:
                     record = inputs.pop(next_to_yield)
@@ -229,23 +286,47 @@ class Executor:
                     yield from self._emit(node, record, result, mode, node_stats)
         node_stats.wall_time_s += time.perf_counter() - start
 
-    def _apply_with_retry(self, node: PlanNode, record: Any, node_stats: NodeStats) -> Any:
+    def _apply_with_retry(
+        self, node: PlanNode, record: Any, node_stats: NodeStats, stats: ExecutionStats
+    ) -> Any:
         assert node.fn is not None
-        attempts = self.max_task_retries + 1
+        policy = node.on_error or self.on_error
+        if policy not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error policy {policy!r} on node {node.name!r}"
+            )
+        retries = node.retries if node.retries is not None else self.max_task_retries
+        if policy == "fail":
+            retries = 0
+        attempts = retries + 1
         last_error: Optional[Exception] = None
-        for _ in range(attempts):
+        for attempt in range(attempts):
             try:
                 return node.fn(record)
-            except Exception as exc:  # noqa: BLE001 - retry any task failure
+            except Exception as exc:  # noqa: BLE001 - contain any task failure
                 last_error = exc
-                with _stats_lock:
-                    node_stats.retries += 1
+                # Only an attempt that will actually be re-tried counts as
+                # a retry; the terminal failure is not one.
+                if attempt + 1 < attempts:
+                    with _stats_lock:
+                        node_stats.retries += 1
         assert last_error is not None
-        raise TaskError(node.name, record, last_error)
+        if policy in ("fail", "retry"):
+            raise TaskError(node.name, record, last_error)
+        if policy == "skip":
+            with _stats_lock:
+                node_stats.skipped += 1
+            return _DROPPED
+        with _stats_lock:  # dead_letter
+            node_stats.dead_lettered += 1
+            stats.dead_letters.append(DeadLetter(node.name, record, last_error))
+        return _DROPPED
 
     def _emit(
         self, node: PlanNode, record: Any, result: Any, mode: str, node_stats: NodeStats
     ) -> Iterator[Any]:
+        if result is _DROPPED:
+            return
         if mode == "map":
             node_stats.records_out += 1
             self._record_lineage(node, record, [result])

@@ -38,6 +38,13 @@ class PlanNode:
     items_fn: Optional[Callable[[], Iterable[Any]]] = None
     parent: Optional["PlanNode"] = None
     cache: Any = None
+    #: Failure-containment policy for per-record failures: ``fail`` |
+    #: ``retry`` | ``skip`` | ``dead_letter``. ``None`` defers to the
+    #: executor's default (see Executor.on_error).
+    on_error: Optional[str] = None
+    #: Per-node retry override; ``None`` defers to the executor's
+    #: ``max_task_retries``.
+    retries: Optional[int] = None
 
     def lineage_chain(self) -> List["PlanNode"]:
         """Nodes from source to this node, in execution order."""
@@ -78,21 +85,60 @@ class Plan:
     # Per-record operators (pipelined, parallelizable)
     # ------------------------------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any], name: Optional[str] = None) -> "Plan":
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> "Plan":
         """Per-record transform node (pipelined, parallelizable)."""
-        return Plan(PlanNode(kind="map", name=name or _auto_name("map"), fn=fn, parent=self.node))
-
-    def filter(self, fn: Callable[[Any], bool], name: Optional[str] = None) -> "Plan":
-        """Per-record predicate node; keeps matching records."""
         return Plan(
-            PlanNode(kind="filter", name=name or _auto_name("filter"), fn=fn, parent=self.node)
+            PlanNode(
+                kind="map",
+                name=name or _auto_name("map"),
+                fn=fn,
+                parent=self.node,
+                on_error=on_error,
+                retries=retries,
+            )
         )
 
-    def flat_map(self, fn: Callable[[Any], Iterable[Any]], name: Optional[str] = None) -> "Plan":
+    def filter(
+        self,
+        fn: Callable[[Any], bool],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> "Plan":
+        """Per-record predicate node; keeps matching records."""
+        return Plan(
+            PlanNode(
+                kind="filter",
+                name=name or _auto_name("filter"),
+                fn=fn,
+                parent=self.node,
+                on_error=on_error,
+                retries=retries,
+            )
+        )
+
+    def flat_map(
+        self,
+        fn: Callable[[Any], Iterable[Any]],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> "Plan":
         """Per-record expansion node (zero or more outputs each)."""
         return Plan(
             PlanNode(
-                kind="flat_map", name=name or _auto_name("flat_map"), fn=fn, parent=self.node
+                kind="flat_map",
+                name=name or _auto_name("flat_map"),
+                fn=fn,
+                parent=self.node,
+                on_error=on_error,
+                retries=retries,
             )
         )
 

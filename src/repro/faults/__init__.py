@@ -1,0 +1,41 @@
+"""Deterministic fault injection for chaos testing.
+
+The resilience claims of the paper ("Sycamore handles retries and
+model-specific details", §5.2) are only worth anything if they are
+exercised. This package injects the failure modes of hosted-LLM backends
+— transient errors, rate-limit storms, latency spikes, malformed output,
+timeouts, and timed brownouts — reproducibly from a seed, so every chaos
+test can be replayed call-for-call.
+
+Typical wiring::
+
+    from repro.faults import BrownoutWindow, FaultInjector, FaultSchedule
+
+    schedule = FaultSchedule(seed=42, transient_rate=0.2,
+                             brownouts=[BrownoutWindow(10, 20)])
+    injector = FaultInjector(schedule)
+    flaky = injector.wrap_llm(backend)       # an LLMClient
+    llm = ReliableLLM(flaky)                 # the layer under test
+    ...
+    print(injector.report())
+"""
+
+from .injector import FaultInjector, FaultyLLM, InjectedFault
+from .schedule import (
+    BROWNOUT,
+    BrownoutWindow,
+    FAULT_KINDS,
+    FaultDecision,
+    FaultSchedule,
+)
+
+__all__ = [
+    "BROWNOUT",
+    "BrownoutWindow",
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultyLLM",
+    "InjectedFault",
+]

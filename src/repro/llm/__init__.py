@@ -14,11 +14,13 @@ All Sycamore LLM transforms and Luna operators accept any
 """
 
 from .base import DEFAULT_MODELS, LLMClient, LLMResponse, ModelSpec, Usage, get_model_spec
-from .client import RateLimiter, ReliableLLM, repair_json
+from .client import CircuitBreaker, RateLimiter, ReliableLLM, repair_json
 from .cost import CallRecord, CostSummary, CostTracker
 from .errors import (
+    CircuitOpenError,
     ContextWindowExceededError,
     LLMError,
+    LLMTimeoutError,
     MalformedOutputError,
     RateLimitError,
     TransientLLMError,
@@ -45,6 +47,8 @@ __all__ = [
     "ANSWER_QUESTION",
     "CLASSIFY_TEXT",
     "CallRecord",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ContextWindowExceededError",
     "CostSummary",
     "CostTracker",
@@ -55,6 +59,7 @@ __all__ = [
     "LLMClient",
     "LLMError",
     "LLMResponse",
+    "LLMTimeoutError",
     "MalformedOutputError",
     "ModelSpec",
     "PLAN_QUERY",

@@ -2,22 +2,32 @@
 
 Sycamore "handles retries and model-specific details like parsing the
 output as JSON" (§5.2). This module is that layer: exponential-backoff
-retry for transient failures, JSON-mode completion with output repair,
-a response cache, an optional rate limiter, and a batch API used by the
-execution engine to parallelize per-document LLM transforms.
+retry (with optional jitter, a per-run retry budget and per-request
+timeouts) for transient failures, a circuit breaker that fails fast
+during backend brownouts, JSON-mode completion with output repair, a
+bounded LRU response cache, an optional rate limiter, and a batch API
+used by the execution engine to parallelize per-document LLM transforms.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import re
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .base import LLMClient, LLMResponse
-from .errors import MalformedOutputError, RateLimitError, TransientLLMError
+from .errors import (
+    CircuitOpenError,
+    LLMTimeoutError,
+    MalformedOutputError,
+    RateLimitError,
+    TransientLLMError,
+)
 
 
 def repair_json(text: str) -> Any:
@@ -77,9 +87,9 @@ def _close_brackets(fragment: str) -> str:
         # The cut fell inside a string. If that string is an object *key*
         # (preceded by '{' or ','), drop it — a quote-closed key with no
         # value is still invalid. A cut *value* (preceded by ':') can be
-        # closed in place.
+        # closed in place. Inside an array, closing in place is valid too.
         before = fragment[:string_start].rstrip()
-        if before.endswith(("{", ",")):
+        if before.endswith(("{", ",")) and (stack and stack[-1] == "}"):
             repaired = before
         else:
             repaired += '"'
@@ -92,7 +102,9 @@ class RateLimiter:
     """Token-bucket rate limiter (requests per second).
 
     Disabled limiters cost nothing. The clock is injectable so tests can
-    drive it deterministically.
+    drive it deterministically. The lock is held only long enough to
+    *reserve* a slot — the sleep itself happens outside it, so concurrent
+    waiters queue up behind the bucket, not behind one sleeping thread.
     """
 
     def __init__(
@@ -118,20 +130,130 @@ class RateLimiter:
                 self.rate, self._allowance + (now - self._last) * self.rate
             )
             self._last = now
-            if self._allowance < 1.0:
-                wait = (1.0 - self._allowance) / self.rate
-                self._sleeper(wait)
-                self._last = self._clock()
-                self._allowance = 0.0
-            else:
+            if self._allowance >= 1.0:
                 self._allowance -= 1.0
+                wait = 0.0
+            else:
+                # Reserve the next slot: account for the tokens that will
+                # have accrued by the end of the wait, then go to sleep
+                # WITHOUT the lock so other threads can reserve after us.
+                wait = (1.0 - self._allowance) / self.rate
+                self._allowance = 0.0
+                self._last = now + wait
+        if wait > 0.0:
+            self._sleeper(wait)
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker: closed → open → half-open → closed.
+
+    *Closed*: requests flow; ``failure_threshold`` consecutive failures
+    trip the breaker. *Open*: requests are rejected instantly (no backend
+    call, no backoff) until ``recovery_time_s`` has elapsed. *Half-open*:
+    one probe request is let through; success closes the breaker, failure
+    re-opens it for another recovery window.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # Counters surfaced for observability.
+        self.times_opened = 0
+        self.rejections = 0
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now (claims the half-open
+        probe slot when applicable)."""
+        with self._lock:
+            if self.state == self.OPEN:
+                if self._clock() - self._opened_at >= self.recovery_time_s:
+                    self.state = self.HALF_OPEN
+                    self._probe_in_flight = False
+                else:
+                    self.rejections += 1
+                    return False
+            if self.state == self.HALF_OPEN:
+                if self._probe_in_flight:
+                    self.rejections += 1
+                    return False
+                self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """Note a successful backend call."""
+        with self._lock:
+            self.state = self.CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """Note a failed backend call; may trip the breaker."""
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self.times_opened += 1
 
 
 class ReliableLLM(LLMClient):
-    """Retry + cache + JSON-mode wrapper around a raw backend.
+    """Retry + circuit-breaker + cache + JSON-mode wrapper around a backend.
 
     All LLM-powered transforms talk to the backend through this class so
     that retries, caching and throttling behave uniformly.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries per request for transient failures.
+    backoff_base_s / backoff_jitter:
+        Exponential backoff base and jitter fraction in [0, 1]: each sleep
+        is scaled by ``1 - jitter*u`` with ``u`` drawn from a seeded RNG,
+        decorrelating concurrent retriers. Default 0 (deterministic).
+    retry_budget:
+        Optional cap on *total* retries across the life of this client —
+        a run-level budget so a brownout cannot multiply per-request
+        retries across thousands of documents. When exhausted, transient
+        failures are raised immediately.
+    request_timeout_s:
+        Optional per-request deadline. A backend call whose wall-clock
+        duration exceeds it raises :class:`LLMTimeoutError` (retryable).
+    circuit_breaker:
+        Optional :class:`CircuitBreaker`. Consecutive backend failures
+        open it; while open, calls fail fast with
+        :class:`CircuitOpenError` instead of burning retries.
+    cache_max_entries:
+        LRU bound on the response cache (default 4096 entries).
     """
 
     def __init__(
@@ -139,19 +261,62 @@ class ReliableLLM(LLMClient):
         backend: LLMClient,
         max_retries: int = 4,
         backoff_base_s: float = 0.05,
+        backoff_jitter: float = 0.0,
         cache_enabled: bool = True,
+        cache_max_entries: int = 4096,
         rate_limiter: Optional[RateLimiter] = None,
+        retry_budget: Optional[int] = None,
+        request_timeout_s: Optional[float] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
         sleeper: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        jitter_seed: int = 0,
     ):
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1")
         self.backend = backend
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
         self.cache_enabled = cache_enabled
+        self.cache_max_entries = cache_max_entries
         self.rate_limiter = rate_limiter or RateLimiter(None)
+        self.retry_budget = retry_budget
+        self.request_timeout_s = request_timeout_s
+        self.circuit_breaker = circuit_breaker
         self._sleeper = sleeper
-        self._cache: Dict[Tuple[str, str, Optional[int]], LLMResponse] = {}
+        self._clock = clock
+        self._jitter_rng = random.Random(jitter_seed)
+        self._cache: "OrderedDict[Tuple[str, str, Optional[int]], LLMResponse]" = (
+            OrderedDict()
+        )
         self._cache_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self.retries_performed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.timeouts = 0
+        self.budget_exhaustions = 0
+
+    def metrics(self) -> Dict[str, int]:
+        """Reliability counters (retries, cache traffic, breaker state)."""
+        with self._counter_lock:
+            counters = {
+                "retries_performed": self.retries_performed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
+                "timeouts": self.timeouts,
+                "budget_exhaustions": self.budget_exhaustions,
+            }
+        counters["cache_size"] = self.cache_size()
+        if self.circuit_breaker is not None:
+            counters["circuit_rejections"] = self.circuit_breaker.rejections
+            counters["circuit_times_opened"] = self.circuit_breaker.times_opened
+        return counters
 
     def complete(
         self,
@@ -162,9 +327,17 @@ class ReliableLLM(LLMClient):
     ) -> LLMResponse:
         """Generate a completion for the prompt (see LLMClient)."""
         key = (model, prompt, max_output_tokens)
-        if self.cache_enabled and temperature == 0.0:
+        cacheable = self.cache_enabled and temperature == 0.0
+        if cacheable:
             with self._cache_lock:
                 hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+            with self._counter_lock:
+                if hit is not None:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
             if hit is not None:
                 return LLMResponse(
                     text=hit.text,
@@ -177,6 +350,11 @@ class ReliableLLM(LLMClient):
         last_error: Optional[Exception] = None
         for attempt in range(self.max_retries + 1):
             self.rate_limiter.acquire()
+            if self.circuit_breaker is not None and not self.circuit_breaker.allow():
+                raise CircuitOpenError(
+                    "circuit breaker is open; request rejected without retry"
+                ) from last_error
+            started = self._clock()
             try:
                 response = self.backend.complete(
                     prompt,
@@ -184,23 +362,34 @@ class ReliableLLM(LLMClient):
                     max_output_tokens=max_output_tokens,
                     temperature=temperature,
                 )
-                break
+                self._enforce_timeout(started)
             except RateLimitError as exc:
                 last_error = exc
-                self.retries_performed += 1
+                self._note_failure()
+                self._spend_retry(exc)
                 self._sleeper(max(exc.retry_after_s, self._backoff(attempt)))
             except TransientLLMError as exc:
                 last_error = exc
-                self.retries_performed += 1
+                self._note_failure()
+                self._spend_retry(exc)
                 self._sleeper(self._backoff(attempt))
+            else:
+                if self.circuit_breaker is not None:
+                    self.circuit_breaker.record_success()
+                break
         else:
             raise TransientLLMError(
                 f"giving up after {self.max_retries + 1} attempts"
             ) from last_error
 
-        if self.cache_enabled and temperature == 0.0:
+        if cacheable:
             with self._cache_lock:
                 self._cache[key] = response
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_max_entries:
+                    self._cache.popitem(last=False)
+                    with self._counter_lock:
+                        self.cache_evictions += 1
         return response
 
     def complete_json(
@@ -268,9 +457,45 @@ class ReliableLLM(LLMClient):
         with self._cache_lock:
             self._cache.clear()
 
+    # ------------------------------------------------------------------
+
+    def _enforce_timeout(self, started: float) -> None:
+        if self.request_timeout_s is None:
+            return
+        elapsed = self._clock() - started
+        if elapsed > self.request_timeout_s:
+            with self._counter_lock:
+                self.timeouts += 1
+            raise LLMTimeoutError(
+                f"request took {elapsed:.3f}s (deadline {self.request_timeout_s}s)",
+                timeout_s=self.request_timeout_s,
+            )
+
+    def _note_failure(self) -> None:
+        if self.circuit_breaker is not None:
+            self.circuit_breaker.record_failure()
+
+    def _spend_retry(self, cause: Exception) -> None:
+        """Charge one retry against the run budget, or give up."""
+        with self._counter_lock:
+            if (
+                self.retry_budget is not None
+                and self.retries_performed >= self.retry_budget
+            ):
+                self.budget_exhaustions += 1
+                raise TransientLLMError(
+                    f"retry budget of {self.retry_budget} exhausted"
+                ) from cause
+            self.retries_performed += 1
+
     def _drop_cached(self, model: str, prompt: str, max_output_tokens: Optional[int]) -> None:
         with self._cache_lock:
             self._cache.pop((model, prompt, max_output_tokens), None)
 
     def _backoff(self, attempt: int) -> float:
-        return self.backoff_base_s * (2**attempt)
+        delay = self.backoff_base_s * (2**attempt)
+        if self.backoff_jitter > 0.0:
+            with self._counter_lock:
+                u = self._jitter_rng.random()
+            delay *= 1.0 - self.backoff_jitter * u
+        return delay

@@ -23,6 +23,21 @@ class RateLimitError(TransientLLMError):
         self.retry_after_s = retry_after_s
 
 
+class LLMTimeoutError(TransientLLMError):
+    """A request exceeded its deadline. Retryable like any transient fault."""
+
+    def __init__(self, message: str = "request timed out", timeout_s: float = 0.0):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
+class CircuitOpenError(LLMError):
+    """The circuit breaker is open; the request was rejected without being
+    sent. Deliberately *not* a :class:`TransientLLMError`: the whole point
+    of the breaker is to fail fast instead of retrying into a dead backend.
+    """
+
+
 class ContextWindowExceededError(LLMError):
     """The prompt does not fit in the model's context window.
 

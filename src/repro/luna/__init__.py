@@ -16,7 +16,13 @@ Typical use::
 from .codegen import generate_code
 from .diff import diff_plans
 from .history import HistoryEntry, QueryHistory
-from .executor import ExecutionTrace, LunaExecutor, PlanExecutionError, TraceEntry
+from .executor import (
+    ExecutionTrace,
+    LUNA_ERROR_POLICIES,
+    LunaExecutor,
+    PlanExecutionError,
+    TraceEntry,
+)
 from .luna import Luna, LunaResult, LunaSession
 from .mathops import MathEvaluationError, evaluate, referenced_nodes
 from .operators import (
@@ -39,6 +45,7 @@ __all__ = [
     "BALANCED_POLICY",
     "COST_POLICY",
     "ExecutionTrace",
+    "LUNA_ERROR_POLICIES",
     "LogicalPlan",
     "Luna",
     "LunaExecutor",

@@ -50,15 +50,27 @@ class TraceEntry:
     #: Ids of the documents this node emitted (capped) — the provenance
     #: trail from an answer back to its sources.
     document_ids: List[str] = field(default_factory=list)
+    #: Records dropped to the dead-letter queue / silently skipped while
+    #: running this node's DocSet plan (non-fatal error policies).
+    dead_lettered: int = 0
+    skipped: int = 0
+    #: Set when the whole operator failed and was degraded instead of
+    #: aborting the query (non-fatal error policies).
+    error: Optional[str] = None
 
     def render(self) -> str:
         """Render a human-readable text view."""
-        return (
+        line = (
             f"[{self.index}] {self.operation}: {self.description} | "
             f"in={self.records_in} out={self.records_out} "
             f"time={self.duration_s:.3f}s llm_calls={self.llm_calls} "
             f"cost=${self.llm_cost_usd:.4f} -> {self.result_preview}"
         )
+        if self.dead_lettered or self.skipped:
+            line += f" [dropped: dead_lettered={self.dead_lettered} skipped={self.skipped}]"
+        if self.error:
+            line += f" [DEGRADED: {self.error}]"
+        return line
 
 
 @dataclass
@@ -66,10 +78,29 @@ class ExecutionTrace:
     """Trace of a full plan execution, in node order."""
 
     entries: List[TraceEntry] = field(default_factory=list)
+    #: Operator-level failures contained by a non-fatal error policy.
+    errors: List[str] = field(default_factory=list)
+    #: True when any record or operator was lost along the way — the
+    #: answer is computed from an incomplete document stream.
+    partial: bool = False
 
     def render(self) -> str:
         """Render a human-readable text view."""
-        return "\n".join(entry.render() for entry in self.entries)
+        lines = [entry.render() for entry in self.entries]
+        if self.partial:
+            lines.append(
+                f"PARTIAL: {self.total_dead_lettered()} dead-lettered, "
+                f"{self.total_skipped()} skipped, {len(self.errors)} degraded operators"
+            )
+        return "\n".join(lines)
+
+    def total_dead_lettered(self) -> int:
+        """Records dead-lettered across all nodes."""
+        return sum(entry.dead_lettered for entry in self.entries)
+
+    def total_skipped(self) -> int:
+        """Records skipped across all nodes."""
+        return sum(entry.skipped for entry in self.entries)
 
     def total_cost_usd(self) -> float:
         """Sum of dollar costs across entries."""
@@ -88,28 +119,66 @@ class ExecutionTrace:
         return []
 
 
+#: Error policies the Luna executor understands. ``fail`` aborts the
+#: query on any operator failure (the historical behaviour); ``skip`` and
+#: ``dead_letter`` contain per-record failures inside LLM operators with
+#: the matching DocSet policy AND degrade whole-operator failures into
+#: trace entries instead of raising, flagging the answer as partial.
+LUNA_ERROR_POLICIES = ("fail", "skip", "dead_letter")
+
+
 class LunaExecutor:
     """Interprets validated logical plans against the context's catalog."""
 
-    def __init__(self, context: SycamoreContext):
+    def __init__(self, context: SycamoreContext, error_policy: str = "fail"):
+        if error_policy not in LUNA_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown error_policy {error_policy!r}; known: {LUNA_ERROR_POLICIES}"
+            )
         self.context = context
+        self.error_policy = error_policy
+        self._last_plan_stats = None
 
     def execute(self, plan: LogicalPlan) -> "tuple[Any, ExecutionTrace]":
-        """Run the plan; returns (final answer, trace)."""
+        """Run the plan; returns (final answer, trace).
+
+        Under a non-fatal ``error_policy``, operator failures degrade —
+        the node's input passes through (or an empty document set when it
+        has none), the error is recorded on the trace, and the trace is
+        flagged partial — rather than raising :class:`PlanExecutionError`.
+        """
         plan.validate()
+        fatal = self.error_policy == "fail"
         results: Dict[int, Any] = {}
         trace = ExecutionTrace()
         for index, node in enumerate(plan.nodes):
             inputs = [results[i] for i in node.inputs]
             before = self.context.cost_tracker.summary()
             start = time.perf_counter()
+            self._last_plan_stats = None
+            error: Optional[str] = None
             try:
                 output = self._run_node(node, inputs, results)
             except (PlanValidationError, mathops.MathEvaluationError) as exc:
-                raise PlanExecutionError(f"node {index} ({node.operation}): {exc}") from exc
+                if fatal:
+                    raise PlanExecutionError(
+                        f"node {index} ({node.operation}): {exc}"
+                    ) from exc
+                error = f"{type(exc).__name__}: {exc}"
+                output = inputs[0] if inputs else []
+            except Exception as exc:  # noqa: BLE001 - contain under non-fatal policy
+                if fatal:
+                    raise
+                error = f"{type(exc).__name__}: {exc}"
+                output = inputs[0] if inputs else []
             duration = time.perf_counter() - start
             after = self.context.cost_tracker.summary()
             results[index] = output
+            dead_lettered, skipped = self._drain_plan_stats()
+            if error is not None:
+                trace.errors.append(f"node {index} ({node.operation}): {error}")
+            if error is not None or dead_lettered or skipped:
+                trace.partial = True
             trace.entries.append(
                 TraceEntry(
                     index=index,
@@ -122,9 +191,28 @@ class LunaExecutor:
                     llm_calls=after.calls - before.calls,
                     result_preview=_preview(output),
                     document_ids=_document_ids(output),
+                    dead_lettered=dead_lettered,
+                    skipped=skipped,
+                    error=error,
                 )
             )
         return results[plan.result_node()], trace
+
+    def _drain_plan_stats(self) -> "tuple[int, int]":
+        """(dead_lettered, skipped) from the node's DocSet execution."""
+        stats = self._last_plan_stats
+        self._last_plan_stats = None
+        if stats is None:
+            return 0, 0
+        return stats.total_dead_lettered(), stats.total_skipped()
+
+    def _run_docset_plan(self, plan: Plan) -> List[Document]:
+        """Run a per-record DocSet plan under this executor's policy."""
+        on_error = None if self.error_policy == "fail" else self.error_policy
+        executor = self.context.executor(on_error=on_error)
+        documents = executor.take_all(plan)
+        self._last_plan_stats = executor.last_stats
+        return documents
 
     # ------------------------------------------------------------------
 
@@ -176,7 +264,7 @@ class LunaExecutor:
             model=node.params.get("model"),
         )
         plan = Plan.from_items(documents).filter(predicate, name="luna_llm_filter")
-        return self.context.executor().take_all(plan)
+        return self._run_docset_plan(plan)
 
     def _op_llmextract(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
         documents = _require_documents(node, inputs[0])
@@ -186,7 +274,7 @@ class LunaExecutor:
             self.context, {field_name: field_type}, model=node.params.get("model")
         )
         plan = Plan.from_items(documents).map(fn, name="luna_llm_extract")
-        return self.context.executor().take_all(plan)
+        return self._run_docset_plan(plan)
 
     def _op_count(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> int:
         return len(_require_documents(node, inputs[0]))

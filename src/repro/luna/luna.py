@@ -37,6 +37,9 @@ class LunaResult:
     code: str
     answer: Any
     trace: ExecutionTrace
+    #: True when failure containment dropped records or degraded operators
+    #: along the way: the answer was computed from incomplete data.
+    partial: bool = False
 
     def explain(self) -> str:
         """A full, auditable account of how the answer was computed."""
@@ -57,6 +60,13 @@ class LunaResult:
             f"Total LLM calls: {self.trace.total_llm_calls()}  "
             f"cost: ${self.trace.total_cost_usd():.4f}",
         ]
+        if self.partial:
+            parts.append(
+                "WARNING: partial answer — "
+                f"{self.trace.total_dead_lettered()} records dead-lettered, "
+                f"{self.trace.total_skipped()} skipped, "
+                f"{len(self.trace.errors)} operators degraded."
+            )
         if self.optimization_log:
             parts.insert(5, "")
             parts.insert(6, "Optimizations applied:")
@@ -69,6 +79,11 @@ class Luna:
 
     ``policy`` selects the optimizer's cost/quality point ("quality",
     "balanced", or "cost" — or a custom :class:`OptimizerPolicy`).
+
+    ``error_policy`` selects failure containment at query time: ``fail``
+    aborts on any operator failure; ``skip`` / ``dead_letter`` contain
+    per-record LLM failures, degrade failed operators, and flag the
+    answer as partial instead of raising.
     """
 
     def __init__(
@@ -76,6 +91,7 @@ class Luna:
         context: SycamoreContext,
         planner_model: str = "sim-large",
         policy: "OptimizerPolicy | str" = BALANCED_POLICY,
+        error_policy: str = "fail",
     ):
         self.context = context
         self.planner = LunaPlanner(context.llm, model=planner_model)
@@ -87,7 +103,7 @@ class Luna:
                     f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
                 ) from None
         self.optimizer = LunaOptimizer(policy)
-        self.executor = LunaExecutor(context)
+        self.executor = LunaExecutor(context, error_policy=error_policy)
         self.history = QueryHistory()
 
     # ------------------------------------------------------------------
@@ -167,6 +183,7 @@ class Luna:
             code=code,
             answer=answer,
             trace=trace,
+            partial=trace.partial,
         )
         self.history.record(result)
         return result

@@ -47,6 +47,7 @@ class SycamoreContext:
         max_task_retries: int = 2,
         default_model: str = "sim-large",
         seed: int = 0,
+        on_error: str = "retry",
     ):
         self.cost_tracker = CostTracker()
         if llm is None:
@@ -60,14 +61,24 @@ class SycamoreContext:
         self.parallelism = parallelism
         self.max_task_retries = max_task_retries
         self.default_model = default_model
+        self.on_error = on_error
+        #: ExecutionStats of the most recent DocSet terminal run through
+        #: this context (dead letters, skips, retries — see repro.execution).
+        self.last_stats = None
         self.read = _Readers(self)
 
-    def executor(self) -> Executor:
-        """A fresh executor honouring this context's configuration."""
+    def executor(self, on_error: Optional[str] = None) -> Executor:
+        """A fresh executor honouring this context's configuration.
+
+        ``on_error`` overrides the context's default failure-containment
+        policy for this one execution (e.g. Luna's graceful-degradation
+        mode runs DocSet plans with ``dead_letter``).
+        """
         return Executor(
             parallelism=self.parallelism,
             max_task_retries=self.max_task_retries,
             lineage=self.lineage,
+            on_error=on_error or self.on_error,
         )
 
 

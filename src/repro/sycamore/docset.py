@@ -59,19 +59,37 @@ class DocSet:
     # Core functional transforms
     # ------------------------------------------------------------------
 
-    def map(self, fn: Callable[[Document], Document], name: Optional[str] = None) -> "DocSet":
-        """Apply an arbitrary per-document UDF."""
-        return DocSet(self.context, self.plan.map(fn, name=name))
+    def map(
+        self,
+        fn: Callable[[Document], Document],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
+    ) -> "DocSet":
+        """Apply an arbitrary per-document UDF.
 
-    def filter(self, fn: Callable[[Document], bool], name: Optional[str] = None) -> "DocSet":
+        ``on_error`` sets this transform's failure-containment policy
+        (``fail`` | ``retry`` | ``skip`` | ``dead_letter``); the default
+        defers to the context.
+        """
+        return DocSet(self.context, self.plan.map(fn, name=name, on_error=on_error))
+
+    def filter(
+        self,
+        fn: Callable[[Document], bool],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
+    ) -> "DocSet":
         """Keep documents satisfying an arbitrary predicate UDF."""
-        return DocSet(self.context, self.plan.filter(fn, name=name))
+        return DocSet(self.context, self.plan.filter(fn, name=name, on_error=on_error))
 
     def flat_map(
-        self, fn: Callable[[Document], Iterable[Document]], name: Optional[str] = None
+        self,
+        fn: Callable[[Document], Iterable[Document]],
+        name: Optional[str] = None,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Map each document to zero or more documents."""
-        return DocSet(self.context, self.plan.flat_map(fn, name=name))
+        return DocSet(self.context, self.plan.flat_map(fn, name=name, on_error=on_error))
 
     # ------------------------------------------------------------------
     # Structural transforms
@@ -259,72 +277,80 @@ class DocSet:
         model: Optional[str] = None,
         num_elements: Optional[int] = None,
         parse_json: bool = False,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Run a prompt against each document, storing the output (§5.2)."""
         fn = llm_transforms.make_llm_query_fn(
             self.context, prompt, output_property, model, num_elements, parse_json
         )
-        return self.map(fn, name=f"llm_query_{output_property}")
+        return self.map(fn, name=f"llm_query_{output_property}", on_error=on_error)
 
     def extract_properties(
         self,
         schema: Dict[str, str],
         model: Optional[str] = None,
         num_elements: Optional[int] = None,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Extract schema fields from each document into properties (Fig. 3)."""
         fn = llm_transforms.make_extract_properties_fn(
             self.context, schema, model, num_elements
         )
-        return self.map(fn, name="extract_properties")
+        return self.map(fn, name="extract_properties", on_error=on_error)
 
     def llm_filter(
         self,
         condition: str,
         model: Optional[str] = None,
         num_elements: Optional[int] = None,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Keep documents satisfying a natural-language condition."""
         fn = llm_transforms.make_llm_filter_fn(self.context, condition, model, num_elements)
-        return self.filter(fn, name="llm_filter")
+        return self.filter(fn, name="llm_filter", on_error=on_error)
 
     def summarize(
         self,
         output_property: str = "summary",
         model: Optional[str] = None,
         max_sentences: int = 3,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Per-document summary into a property."""
         fn = llm_transforms.make_summarize_fn(
             self.context, output_property, model, max_sentences
         )
-        return self.map(fn, name="summarize")
+        return self.map(fn, name="summarize", on_error=on_error)
 
     def classify(
         self,
         categories: Sequence[str],
         output_property: str,
         model: Optional[str] = None,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Assign each document one of ``categories``."""
         fn = llm_transforms.make_classify_fn(self.context, categories, output_property, model)
-        return self.map(fn, name=f"classify_{output_property}")
+        return self.map(fn, name=f"classify_{output_property}", on_error=on_error)
 
     def extract_entities(
         self,
         output_property: str = "entities",
         model: Optional[str] = None,
         num_elements: Optional[int] = None,
+        on_error: Optional[str] = None,
     ) -> "DocSet":
         """Extract entity/relation triples into a property (§7)."""
         fn = llm_transforms.make_extract_entities_fn(
             self.context, output_property, model, num_elements
         )
-        return self.map(fn, name="extract_entities")
+        return self.map(fn, name="extract_entities", on_error=on_error)
 
-    def embed(self) -> "DocSet":
+    def embed(self, on_error: Optional[str] = None) -> "DocSet":
         """Attach an embedding vector property to each document (Fig. 3)."""
-        return self.map(llm_transforms.make_embed_fn(self.context), name="embed")
+        return self.map(
+            llm_transforms.make_embed_fn(self.context), name="embed", on_error=on_error
+        )
 
     # ------------------------------------------------------------------
     # Materialization and terminals
@@ -337,15 +363,20 @@ class DocSet:
 
     def take_all(self) -> List[Document]:
         """Execute the plan and collect every document."""
-        return self.context.executor().take_all(self.plan)
+        executor = self.context.executor()
+        documents = executor.take_all(self.plan)
+        self.context.last_stats = executor.last_stats
+        return documents
 
     def take(self, k: int) -> List[Document]:
         """Execute and collect up to k output documents."""
+        executor = self.context.executor()
         results = []
-        for document in self.context.executor().execute(self.plan):
+        for document in executor.execute(self.plan):
             results.append(document)
             if len(results) >= k:
                 break
+        self.context.last_stats = executor.last_stats
         return results
 
     def first(self) -> Optional[Document]:
@@ -355,7 +386,10 @@ class DocSet:
 
     def count(self) -> int:
         """Execute and count the documents."""
-        return self.context.executor().count(self.plan)
+        executor = self.context.executor()
+        total = executor.count(self.plan)
+        self.context.last_stats = executor.last_stats
+        return total
 
     def distinct(self, field: str) -> "DocSet":
         """Keep the first document per distinct value of a property."""

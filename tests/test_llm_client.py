@@ -1,6 +1,7 @@
 """Tests for the reliability layer: retries, caching, JSON repair, limits."""
 
 import json
+import threading
 
 import pytest
 
@@ -133,6 +134,27 @@ class TestRepairJson:
         with pytest.raises(MalformedOutputError):
             repair_json("no json here at all")
 
+    def test_truncated_string_inside_array(self):
+        assert repair_json('["abc", "de') == ["abc", "de"]
+
+    def test_truncated_string_inside_nested_array(self):
+        assert repair_json('{"items": ["alpha", "be') == {"items": ["alpha", "be"]}
+
+    def test_truncated_object_inside_array_salvaged(self):
+        # The half-open second element can't be recovered, but the parse
+        # must still yield something rather than raise.
+        assert repair_json('[{"a": 1}, {"b') == {"a": 1}
+
+    def test_nested_code_fences(self):
+        assert repair_json('```\n```json\n{"a": 1}\n```\n```') == {"a": 1}
+
+    def test_fence_with_surrounding_prose(self):
+        text = 'Sure thing: ```json\n{"a": [1, 2]}\n``` hope that helps'
+        assert repair_json(text) == {"a": [1, 2]}
+
+    def test_unterminated_fence(self):
+        assert repair_json('```json\n{"a": "x"}') == {"a": "x"}
+
 
 class TestCompleteJson:
     def test_retries_malformed_output(self):
@@ -181,3 +203,79 @@ class TestRateLimiter:
         # 2 rps with a burst of 2: two immediate, then throttled.
         assert len(sleeps) >= 1
         assert all(s > 0 for s in sleeps)
+
+    def test_sleep_happens_outside_lock(self):
+        clock = {"t": 0.0}
+        lock_states = []
+
+        def sleeper(s):
+            lock_states.append(limiter._lock.locked())
+            clock["t"] += s
+
+        limiter = RateLimiter(1.0, clock=lambda: clock["t"], sleeper=sleeper)
+        for _ in range(3):
+            limiter.acquire()
+        assert len(lock_states) == 2  # first acquire rides the burst
+        assert lock_states == [False, False]
+
+    def test_sleeping_waiter_does_not_block_others(self):
+        # One thread parked in the sleeper must not hold the lock: a second
+        # thread has to be able to reserve its own slot and finish.
+        clock = {"t": 0.0}
+        first_sleeping = threading.Event()
+        release_first = threading.Event()
+        calls = []
+        calls_lock = threading.Lock()
+
+        def sleeper(s):
+            with calls_lock:
+                calls.append(s)
+                ordinal = len(calls)
+            if ordinal == 1:
+                first_sleeping.set()
+                assert release_first.wait(timeout=5.0)
+
+        limiter = RateLimiter(1.0, clock=lambda: clock["t"], sleeper=sleeper)
+        limiter.acquire()  # burn the burst slot; no sleep
+
+        t1 = threading.Thread(target=limiter.acquire)
+        t1.start()
+        assert first_sleeping.wait(timeout=5.0)
+
+        second_done = threading.Event()
+
+        def second():
+            limiter.acquire()
+            second_done.set()
+
+        t2 = threading.Thread(target=second)
+        t2.start()
+        # Before the fix this deadlocked until t1 woke up.
+        assert second_done.wait(timeout=5.0)
+        release_first.set()
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert not t1.is_alive()
+        # Both waiters reserved distinct slots: 1s and 2s out.
+        assert sorted(calls) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_concurrent_acquires_reserve_distinct_slots(self):
+        clock = {"t": 0.0}
+        clock_lock = threading.Lock()
+        sleeps = []
+
+        def sleeper(s):
+            with clock_lock:
+                sleeps.append(s)
+
+        limiter = RateLimiter(2.0, clock=lambda: clock["t"], sleeper=sleeper)
+        threads = [threading.Thread(target=limiter.acquire) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+        # Burst of 2 absorbed free; the other 6 each reserved a later,
+        # strictly deeper slot in the bucket (clock frozen at t=0).
+        assert len(sleeps) == 6
+        assert sorted(sleeps) == [pytest.approx(0.5 * k) for k in range(1, 7)]
