@@ -1,0 +1,165 @@
+"""E12 — request-scheduler throughput: sequential vs batched vs batched+dedup.
+
+The runtime's cost/latency story (§3 "LLMs are slow and expensive") rests
+on how efficiently LLM traffic is scheduled. This bench evaluates the
+same semantic-filter workload over a synthetic NTSB corpus three ways:
+
+* **sequential** — one blocking ``complete`` per prompt, no scheduler
+  (the pre-scheduler call pattern);
+* **batched** — every prompt submitted through a
+  :class:`repro.runtime.RequestScheduler` with dedup off, so only
+  micro-batching and dispatch parallelism help;
+* **batched+dedup** — the full scheduler, which also collapses the
+  duplicate prompts that concurrent pipelines naturally produce.
+
+The workload is duplicate-heavy by construction: three "pipelines"
+evaluate the same filter predicate over the corpus, the pattern in-flight
+dedup exists for. The backend sleeps a fraction of each model's virtual
+latency (``real_latency_scale``) so calls are network-bound the way
+hosted-API calls are, and the reliability layer's response cache is OFF —
+otherwise the cache would mask exactly the effects being measured.
+
+Results land in ``BENCH_scheduler.json`` at the repo root (uploaded as a
+CI artifact). Gate: batched+dedup must clear 2x sequential docs/sec.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+from repro.llm import ReliableLLM, SimulatedLLM
+from repro.llm.prompts import FILTER_DOCUMENT, append_section, render_task_prompt
+from repro.partitioner import ArynPartitioner
+from repro.runtime import RequestScheduler
+
+#: Fraction of virtual latency each backend call really sleeps.
+LATENCY_SCALE = 0.02
+N_DOCS = 20
+#: Concurrent pipelines evaluating the same predicate (duplicate factor).
+N_PIPELINES = 3
+MODEL = "sim-large"
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
+
+
+def _build_prompts(raws):
+    """Filter prompts for each document, duplicated across pipelines."""
+    prefix = render_task_prompt(
+        FILTER_DOCUMENT.task,
+        {
+            "instructions": FILTER_DOCUMENT.instructions,
+            "condition": "the incident was caused by weather",
+        },
+    )
+    partitioner = ArynPartitioner(seed=0)
+    per_doc = [
+        append_section(prefix, "document", partitioner.partition(raw).text_representation())
+        for raw in raws[:N_DOCS]
+    ]
+    return per_doc * N_PIPELINES
+
+
+def _fresh_client():
+    """A reliability-wrapped backend with the response cache disabled."""
+    return ReliableLLM(
+        SimulatedLLM(seed=5, real_latency_scale=LATENCY_SCALE),
+        cache_enabled=False,
+    )
+
+
+def _run_sequential(prompts):
+    client = _fresh_client()
+    started = time.perf_counter()
+    responses = [client.complete(prompt, model=MODEL) for prompt in prompts]
+    elapsed = time.perf_counter() - started
+    client.close()
+    return responses, elapsed, {}
+
+
+def _run_scheduled(prompts, dedup):
+    client = _fresh_client()
+    scheduler = RequestScheduler(
+        client=client,
+        max_batch_size=8,
+        max_wait_ms=2.0,
+        dispatch_parallelism=4,
+        dedup=dedup,
+    )
+    started = time.perf_counter()
+    futures = [scheduler.submit(prompt, model=MODEL) for prompt in prompts]
+    responses = [future.result(timeout=120) for future in futures]
+    elapsed = time.perf_counter() - started
+    metrics = scheduler.metrics()
+    scheduler.close()
+    client.close()
+    return responses, elapsed, metrics
+
+
+def test_bench_scheduler_throughput(benchmark, ntsb_bench_corpus):
+    _, raws = ntsb_bench_corpus
+    prompts = _build_prompts(raws)
+    n = len(prompts)
+
+    seq_responses, seq_s, _ = _run_sequential(prompts)
+    batch_responses, batch_s, batch_m = _run_scheduled(prompts, dedup=False)
+    dedup_responses, dedup_s, dedup_m = benchmark.pedantic(
+        _run_scheduled, args=(prompts, True), rounds=1, iterations=1
+    )
+
+    # Same workload, same deterministic backend: answers must agree.
+    assert [r.text for r in batch_responses] == [r.text for r in seq_responses]
+    assert [r.text for r in dedup_responses] == [r.text for r in seq_responses]
+
+    modes = {
+        "sequential": (seq_s, {}),
+        "batched": (batch_s, batch_m),
+        "batched+dedup": (dedup_s, dedup_m),
+    }
+    results = {
+        "workload": {
+            "documents": N_DOCS,
+            "pipelines": N_PIPELINES,
+            "prompts": n,
+            "model": MODEL,
+            "real_latency_scale": LATENCY_SCALE,
+        },
+        "modes": {},
+    }
+    rows = []
+    for name, (elapsed, metrics) in modes.items():
+        docs_per_s = n / elapsed
+        results["modes"][name] = {
+            "elapsed_s": round(elapsed, 4),
+            "docs_per_s": round(docs_per_s, 2),
+            "speedup_vs_sequential": round(seq_s / elapsed, 2),
+            "upstream_calls_saved": metrics.get("dedup_hits", 0),
+            "avg_batch_size": metrics.get("avg_batch_size", 1.0),
+        }
+        rows.append(
+            [
+                name,
+                f"{elapsed:.3f}s",
+                f"{docs_per_s:.1f}",
+                f"{seq_s / elapsed:.2f}x",
+                metrics.get("avg_batch_size", "-"),
+                metrics.get("dedup_hits", "-"),
+            ]
+        )
+    print_table(
+        "E12: scheduler throughput (semantic filter over synthetic NTSB)",
+        ["mode", "elapsed", "docs/s", "speedup", "avg batch", "dedup hits"],
+        rows,
+    )
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    # Shape assertions — the gates the issue specifies.
+    assert results["modes"]["batched+dedup"]["speedup_vs_sequential"] >= 2.0
+    assert results["modes"]["batched"]["speedup_vs_sequential"] > 1.0
+    # Dedup collapsed the duplicate pipelines' prompts: every submission
+    # either dispatched or piggybacked on an in-flight twin.
+    assert dedup_m["dedup_hits"] + dedup_m["completed"] == n
+    assert dedup_m["dedup_hits"] > 0
+    assert batch_m["avg_batch_size"] > 1.0

@@ -10,6 +10,8 @@ Layered like the paper's architecture (Figure 1):
 * :mod:`repro.llm`, :mod:`repro.embedding`, :mod:`repro.indexes`,
   :mod:`repro.execution` — the substrates (LLM runtime, embeddings,
   keyword/vector/graph stores, Ray-like dataflow execution).
+* :mod:`repro.runtime` — the shared LLM request scheduler
+  (micro-batching, in-flight dedup, priority admission control).
 * :mod:`repro.rag` — the retrieval-augmented-generation baseline.
 * :mod:`repro.datagen`, :mod:`repro.evaluation` — synthetic corpora and
   the benchmark harnesses.
@@ -36,6 +38,7 @@ from .docmodel import Document, Element, Table
 from .luna import Luna, LunaResult
 from .partitioner import ArynPartitioner, NaiveTextPartitioner
 from .rag import RagPipeline
+from .runtime import Priority, RequestScheduler
 from .sycamore import DocSet, SycamoreContext
 
 __version__ = "0.1.0"
@@ -48,7 +51,9 @@ __all__ = [
     "Luna",
     "LunaResult",
     "NaiveTextPartitioner",
+    "Priority",
     "RagPipeline",
+    "RequestScheduler",
     "SycamoreContext",
     "Table",
     "__version__",

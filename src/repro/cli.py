@@ -16,7 +16,14 @@ Commands
     (transient errors, rate limits, malformed output, an optional
     brownout window). Demonstrates failure containment: the run
     completes with a partial answer and a dead-letter report instead of
-    crashing.
+    crashing. All traffic flows through the shared request scheduler, so
+    the report includes queue depth and dedup savings alongside the
+    dead-letter counts.
+``runtime-stats``
+    Run the ETL build and a Luna query through the shared
+    :class:`repro.runtime.RequestScheduler` and print its statistics —
+    batch-size histogram, dedup hits, priority queue traffic, wait and
+    service times.
 
 All commands are offline and deterministic for a given ``--seed``.
 """
@@ -27,7 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import ArynPartitioner, Luna, SycamoreContext
+from . import ArynPartitioner, Luna, RequestScheduler, SycamoreContext
 from .datagen import generate_earnings_corpus, generate_ntsb_corpus
 from .faults import BrownoutWindow, FaultInjector, FaultSchedule
 
@@ -46,8 +53,14 @@ _EARNINGS_SCHEMA = {
 }
 
 
-def _build_context(dataset: str, n_docs: int, seed: int, parallelism: int) -> SycamoreContext:
-    ctx = SycamoreContext(parallelism=parallelism, seed=seed)
+def _build_context(
+    dataset: str,
+    n_docs: int,
+    seed: int,
+    parallelism: int,
+    scheduler: Optional[RequestScheduler] = None,
+) -> SycamoreContext:
+    ctx = SycamoreContext(parallelism=parallelism, seed=seed, scheduler=scheduler)
     if dataset == "ntsb":
         _, raws = generate_ntsb_corpus(n_docs, seed=seed)
         schema = _NTSB_SCHEMA
@@ -93,9 +106,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scheduler_stats(scheduler: RequestScheduler) -> None:
+    m = scheduler.metrics()
+    histogram = m.pop("batch_size_histogram")
+    print("scheduler:")
+    print(
+        f"  admitted: {m['admitted']} (interactive+bulk)  "
+        f"rejected: {m['rejected']}  dedup hits: {m['dedup_hits']}  "
+        f"(upstream calls saved: {m['dedup_hits']})"
+    )
+    print(
+        f"  completed: {m['completed']}  failed: {m['failed']}  "
+        f"cancelled: {m['cancelled']}  "
+        f"queue depth now: interactive={m['queue_depth_interactive']} "
+        f"bulk={m['queue_depth_bulk']} (peak {m['peak_queue_depth']})"
+    )
+    print(
+        f"  batches: {m['batches_dispatched']} "
+        f"(avg size {m['avg_batch_size']})  "
+        f"avg wait: {m['avg_wait_ms']}ms  avg service: {m['avg_service_ms']}ms  "
+        f"starvation promotions: {m['starvation_promotions']}"
+    )
+    sizes = ", ".join(f"{size}x{count}" for size, count in histogram.items())
+    print(f"  batch-size histogram: {sizes or '(empty)'}")
+
+
+def _make_scheduler(args: argparse.Namespace) -> RequestScheduler:
+    return RequestScheduler(
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.queue_depth,
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
-    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
 
     brownouts = [args.brownout] if args.brownout else []
     try:
@@ -108,10 +157,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
+        scheduler.close()
         return 2
     injector = FaultInjector(schedule)
     # Inject between the reliability layer and the backend: the ETL build
-    # above ran clean; only query-time traffic sees the weather.
+    # above ran clean; only query-time traffic sees the weather. The
+    # scheduler sits *above* the reliability layer, so queued requests
+    # ride out the storm behind retries and the circuit breaker.
     ctx.llm.backend = injector.wrap_llm(ctx.llm.backend)
 
     luna = Luna(ctx, policy=args.policy, error_policy="dead_letter")
@@ -129,6 +181,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for line in result.trace.errors:
         print(f"  - {line}")
     print(f"llm metrics: {ctx.llm.metrics()}")
+    _print_scheduler_stats(scheduler)
+    scheduler.close()
+    return 0
+
+
+def _cmd_runtime_stats(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
+    after_etl = scheduler.metrics()
+    luna = Luna(ctx, policy=args.policy)
+    result = luna.query(args.question, index=args.dataset)
+    print(f"\nanswer: {result.answer}")
+    print(
+        f"\nETL (BULK) traffic: {after_etl['admitted']} requests in "
+        f"{after_etl['batches_dispatched']} batches "
+        f"(avg size {after_etl['avg_batch_size']})"
+    )
+    query_admitted = scheduler.metrics()["admitted"] - after_etl["admitted"]
+    print(f"query (INTERACTIVE) traffic: {query_admitted} requests")
+    _print_scheduler_stats(scheduler)
+    scheduler.close()
     return 0
 
 
@@ -190,10 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.set_defaults(handler=_cmd_query)
 
+    def scheduler_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--batch-size", type=int, default=8, help="scheduler max batch size"
+        )
+        p.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=2.0,
+            help="micro-batch window in milliseconds",
+        )
+        p.add_argument(
+            "--queue-depth",
+            type=int,
+            default=1024,
+            help="per-priority admission bound",
+        )
+
     chaos = sub.add_parser(
         "chaos", help="run a query under seeded fault injection"
     )
     common(chaos)
+    scheduler_opts(chaos)
     chaos.add_argument(
         "question",
         nargs="?",
@@ -213,6 +307,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="call-index window of 100%% transient failures, e.g. 5:25",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    runtime_stats = sub.add_parser(
+        "runtime-stats",
+        help="run ETL + a query through the request scheduler and report stats",
+    )
+    common(runtime_stats)
+    scheduler_opts(runtime_stats)
+    runtime_stats.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    runtime_stats.add_argument(
+        "--dataset", choices=("ntsb", "earnings"), default="ntsb"
+    )
+    runtime_stats.set_defaults(handler=_cmd_runtime_stats)
 
     partition = sub.add_parser(
         "partition", help="show the partitioner's output for one report"

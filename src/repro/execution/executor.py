@@ -75,6 +75,10 @@ class ExecutionStats:
     nodes: Dict[str, NodeStats] = field(default_factory=dict)
     #: Records dropped under a ``dead_letter`` policy, in failure order.
     dead_letters: List[DeadLetter] = field(default_factory=list)
+    #: Delta of the shared request scheduler's counters over this
+    #: execution (submitted, completed, dedup hits, batches, ...) when
+    #: the executor runs against a :class:`repro.runtime.RequestScheduler`.
+    scheduler: Optional[Dict[str, Any]] = None
 
     def node(self, name: str) -> NodeStats:
         """Per-node stats record (created on first access)."""
@@ -113,6 +117,13 @@ class Executor:
     batch_size:
         Records pulled per scheduling round in parallel mode; bounds
         memory while keeping workers busy.
+    scheduler:
+        Optional :class:`repro.runtime.RequestScheduler` the plan's LLM
+        call sites submit through. The executor does not dispatch through
+        it directly — transforms hold their own scheduled clients — but
+        snapshots its counters around each execution so
+        :class:`ExecutionStats` reports the plan's share of queue
+        traffic, batching and dedup savings.
     """
 
     def __init__(
@@ -122,6 +133,7 @@ class Executor:
         lineage: Optional[Lineage] = None,
         batch_size: int = 32,
         on_error: str = "retry",
+        scheduler: Optional[Any] = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -136,6 +148,7 @@ class Executor:
         self.lineage = lineage
         self.batch_size = batch_size
         self.on_error = on_error
+        self.scheduler = scheduler
         self.last_stats: Optional[ExecutionStats] = None
 
     # ------------------------------------------------------------------
@@ -144,7 +157,24 @@ class Executor:
         """Lazily yield the plan's output records."""
         stats = ExecutionStats()
         self.last_stats = stats
-        return self._run_node(plan.node, stats)
+        iterator = self._run_node(plan.node, stats)
+        if self.scheduler is None:
+            return iterator
+        return self._track_scheduler(iterator, stats, self.scheduler.metrics())
+
+    def _track_scheduler(
+        self, iterator: Iterator[Any], stats: ExecutionStats, before: Dict[str, Any]
+    ) -> Iterator[Any]:
+        """Attribute the scheduler-counter delta of this run to its stats."""
+        try:
+            yield from iterator
+        finally:
+            after = self.scheduler.metrics()
+            stats.scheduler = {
+                key: round(after[key] - before[key], 6)
+                for key in before
+                if isinstance(before[key], (int, float))
+            }
 
     def take_all(self, plan: Plan) -> List[Any]:
         """Execute and collect every output record."""

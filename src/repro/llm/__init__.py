@@ -36,6 +36,7 @@ from .prompts import (
     PromptTemplate,
     SUMMARIZE_COLLECTION,
     SUMMARIZE_DOCUMENT,
+    append_section,
     parse_task_prompt,
     render_task_prompt,
     split_into_chunks,
@@ -73,6 +74,7 @@ __all__ = [
     "TransientLLMError",
     "UnknownModelError",
     "Usage",
+    "append_section",
     "count_tokens",
     "get_model_spec",
     "parse_task_prompt",

@@ -254,6 +254,9 @@ class ReliableLLM(LLMClient):
         :class:`CircuitOpenError` instead of burning retries.
     cache_max_entries:
         LRU bound on the response cache (default 4096 entries).
+    batch_pool_workers:
+        Size of the long-lived thread pool shared by every parallel
+        :meth:`complete_many` call (one pool per client, not per batch).
     """
 
     def __init__(
@@ -271,7 +274,10 @@ class ReliableLLM(LLMClient):
         sleeper: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         jitter_seed: int = 0,
+        batch_pool_workers: int = 16,
     ):
+        if batch_pool_workers < 1:
+            raise ValueError("batch_pool_workers must be >= 1")
         if not 0.0 <= backoff_jitter <= 1.0:
             raise ValueError("backoff_jitter must be in [0, 1]")
         if cache_max_entries < 1:
@@ -294,6 +300,9 @@ class ReliableLLM(LLMClient):
         )
         self._cache_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self.batch_pool_workers = batch_pool_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
         self.retries_performed = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -428,24 +437,60 @@ class ReliableLLM(LLMClient):
         model: str = "sim-large",
         max_output_tokens: Optional[int] = None,
         parallelism: int = 8,
-    ) -> List[LLMResponse]:
-        """Batch completion preserving input order."""
+        return_exceptions: bool = False,
+    ) -> "List[LLMResponse | Exception]":
+        """Batch completion preserving input order.
+
+        Duplicate prompts within the batch are collapsed into one
+        upstream call whose response is fanned back out to every
+        position. Parallel batches share one long-lived thread pool
+        (sized by ``batch_pool_workers``) instead of constructing and
+        tearing down an executor per call; ``parallelism <= 1`` keeps the
+        fully sequential path. With ``return_exceptions`` a failed
+        completion occupies its slot as the exception instance instead of
+        aborting the whole batch.
+        """
         if not prompts:
             return []
-        if parallelism <= 1 or len(prompts) == 1:
-            return [
-                self.complete(p, model=model, max_output_tokens=max_output_tokens)
-                for p in prompts
-            ]
-        with ThreadPoolExecutor(max_workers=parallelism) as pool:
-            return list(
-                pool.map(
-                    lambda p: self.complete(
-                        p, model=model, max_output_tokens=max_output_tokens
-                    ),
-                    prompts,
+
+        def one(prompt: str) -> "LLMResponse | Exception":
+            try:
+                return self.complete(
+                    prompt, model=model, max_output_tokens=max_output_tokens
                 )
-            )
+            except Exception as exc:  # noqa: BLE001 - isolate per prompt
+                if return_exceptions:
+                    return exc
+                raise
+
+        unique: List[str] = []
+        slot_of: Dict[str, int] = {}
+        for prompt in prompts:
+            if prompt not in slot_of:
+                slot_of[prompt] = len(unique)
+                unique.append(prompt)
+        if parallelism <= 1 or len(unique) == 1:
+            unique_results = [one(prompt) for prompt in unique]
+        else:
+            unique_results = list(self._batch_pool().map(one, unique))
+        return [unique_results[slot_of[prompt]] for prompt in prompts]
+
+    def _batch_pool(self) -> ThreadPoolExecutor:
+        """The shared executor behind parallel ``complete_many`` calls."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.batch_pool_workers,
+                    thread_name_prefix="repro-llm-batch",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Release the shared batch pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def cache_size(self) -> int:
         """Number of cached responses."""

@@ -44,6 +44,20 @@ def render_task_prompt(task: str, sections: Dict[str, str]) -> str:
     return "\n".join(parts)
 
 
+def append_section(prefix: str, name: str, body: str) -> str:
+    """Append one section to a prompt prefix built by render_task_prompt.
+
+    Byte-for-byte equivalent to having passed the section to
+    :func:`render_task_prompt` directly, so cache and dedup keys match.
+    Used to hoist the static part of per-document prompts out of hot
+    loops (the document text is always the final section).
+    """
+    if not re.fullmatch(r"[a-z0-9_]+", name):
+        raise ValueError(f"invalid section name: {name!r}")
+    body = body.rstrip("\n")
+    return f"{prefix}\n<<SECTION:{name}>>\n{body}"
+
+
 def parse_task_prompt(prompt: str) -> Tuple[str, Dict[str, str]]:
     """Recover (task, sections) from a prompt built by render_task_prompt."""
     task_match = _TASK_RE.search(prompt)

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from ..docmodel.document import Document
 from ..execution.plan import Plan
+from ..runtime import Priority
 from ..sycamore import aggregates
 from ..sycamore.context import SycamoreContext
 from ..sycamore.llm_transforms import (
@@ -262,6 +263,7 @@ class LunaExecutor:
             self.context,
             condition=str(node.params["condition"]),
             model=node.params.get("model"),
+            priority=Priority.INTERACTIVE,
         )
         plan = Plan.from_items(documents).filter(predicate, name="luna_llm_filter")
         return self._run_docset_plan(plan)
@@ -271,7 +273,10 @@ class LunaExecutor:
         field_name = str(node.params["field"])
         field_type = str(node.params.get("type", "string"))
         fn = make_extract_properties_fn(
-            self.context, {field_name: field_type}, model=node.params.get("model")
+            self.context,
+            {field_name: field_type},
+            model=node.params.get("model"),
+            priority=Priority.INTERACTIVE,
         )
         plan = Plan.from_items(documents).map(fn, name="luna_llm_extract")
         return self._run_docset_plan(plan)
@@ -368,6 +373,7 @@ class LunaExecutor:
             documents,
             model=node.params.get("model"),
             question=node.params.get("question"),
+            priority=Priority.INTERACTIVE,
         )
 
     def _op_identity(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> Any:

@@ -94,7 +94,12 @@ class Luna:
         error_policy: str = "fail",
     ):
         self.context = context
-        self.planner = LunaPlanner(context.llm, model=planner_model)
+        # Planning is the most latency-sensitive traffic in the system (a
+        # user is staring at the prompt): submit it at INTERACTIVE
+        # priority when the context routes through a scheduler.
+        self.planner = LunaPlanner(
+            context.llm_for("interactive"), model=planner_model
+        )
         if isinstance(policy, str):
             try:
                 policy = POLICIES[policy]

@@ -17,7 +17,7 @@ import json
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..indexes.catalog import NamedIndex
-from ..llm.client import ReliableLLM
+from ..llm.base import LLMClient
 from ..llm.errors import MalformedOutputError
 from ..llm.prompts import PLAN_QUERY
 from .operators import OPERATOR_SPECS, LogicalPlan, PlanNode, PlanValidationError
@@ -48,7 +48,7 @@ class LunaPlanner:
 
     def __init__(
         self,
-        llm: ReliableLLM,
+        llm: LLMClient,
         model: str = "sim-large",
         max_plan_retries: int = 2,
     ):

@@ -21,6 +21,7 @@ from ..llm.errors import ContextWindowExceededError
 from ..llm.prompts import ANSWER_QUESTION, split_into_chunks
 from ..llm.tokens import count_tokens
 from ..llm.base import get_model_spec
+from ..runtime import Priority, RequestScheduler, ScheduledLLM
 
 RetrievalMode = Literal["vector", "keyword", "hybrid"]
 
@@ -53,6 +54,11 @@ class RagPipeline:
         Chunks retrieved per question.
     retrieval:
         ``vector``, ``keyword`` or ``hybrid``.
+    scheduler:
+        Optional shared :class:`repro.runtime.RequestScheduler`.
+        Question-answering is a user-facing path, so generation calls are
+        submitted at INTERACTIVE priority; without a scheduler they go
+        straight to ``llm``.
     """
 
     def __init__(
@@ -62,9 +68,18 @@ class RagPipeline:
         model: str = "sim-large",
         top_k: int = 5,
         retrieval: RetrievalMode = "vector",
+        scheduler: Optional[RequestScheduler] = None,
     ):
         self.index = index
         self.llm = llm
+        self.scheduler = scheduler
+        if scheduler is not None and scheduler.client is None:
+            scheduler.client = llm
+        self._generator = (
+            ScheduledLLM(scheduler, Priority.INTERACTIVE)
+            if scheduler is not None
+            else llm
+        )
         self.model = model
         self.top_k = top_k
         self.retrieval = retrieval
@@ -119,7 +134,7 @@ class RagPipeline:
         chunks = self.retrieve(question)
         context, used, truncated = self._pack_context(question, chunks)
         prompt = ANSWER_QUESTION.render(question=question, context=context)
-        response = self.llm.complete(prompt, model=self.model)
+        response = self._generator.complete(prompt, model=self.model)
         return RagAnswer(
             question=question,
             answer=response.text,

@@ -1,0 +1,30 @@
+"""repro.runtime — the shared LLM serving substrate.
+
+A process-wide :class:`RequestScheduler` that all LLM call sites submit
+:class:`LLMRequest`\\ s to: dynamic micro-batching per model, in-flight
+deduplication, two-level priority admission control with backpressure,
+and a :class:`SchedulerStats` snapshot for observability. See
+:mod:`repro.runtime.scheduler` for the design rationale.
+"""
+
+from .client import ScheduledLLM
+from .scheduler import (
+    LLMRequest,
+    Priority,
+    RequestScheduler,
+    SchedulerClosedError,
+    SchedulerError,
+    SchedulerSaturatedError,
+    SchedulerStats,
+)
+
+__all__ = [
+    "LLMRequest",
+    "Priority",
+    "RequestScheduler",
+    "ScheduledLLM",
+    "SchedulerClosedError",
+    "SchedulerError",
+    "SchedulerSaturatedError",
+    "SchedulerStats",
+]

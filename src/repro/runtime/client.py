@@ -1,0 +1,128 @@
+"""A client-shaped adapter over the scheduler.
+
+Call sites written against :class:`repro.llm.base.LLMClient` (transform
+factories, the Luna planner, the RAG generator) do not need to know about
+futures or priorities: :class:`ScheduledLLM` binds a scheduler and a
+priority class and exposes the familiar ``complete`` / ``complete_json``
+/ ``complete_many`` surface, routing every call through the shared queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..llm.base import LLMClient, LLMResponse
+from ..llm.client import repair_json
+from ..llm.errors import MalformedOutputError
+from .scheduler import Priority, RequestScheduler
+
+
+class ScheduledLLM(LLMClient):
+    """LLMClient facade that submits through a :class:`RequestScheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared scheduler to submit to.
+    priority:
+        Admission class for every call made through this adapter.
+    request_timeout_s:
+        Optional cap on how long a caller blocks on its future. None
+        blocks until the scheduler resolves it (the scheduler itself
+        never loses a future, so this is safe).
+    """
+
+    def __init__(
+        self,
+        scheduler: RequestScheduler,
+        priority: "Priority | int | str" = Priority.BULK,
+        request_timeout_s: Optional[float] = None,
+    ):
+        self.scheduler = scheduler
+        self.priority = priority
+        self.request_timeout_s = request_timeout_s
+
+    def complete(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        temperature: float = 0.0,
+    ) -> LLMResponse:
+        """Submit through the scheduler and block for the response."""
+        return self.scheduler.complete(
+            prompt,
+            model=model,
+            max_output_tokens=max_output_tokens,
+            temperature=temperature,
+            priority=self.priority,
+            timeout=self.request_timeout_s,
+        )
+
+    def complete_json(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        json_retries: int = 2,
+    ) -> Any:
+        """Scheduled counterpart of :meth:`ReliableLLM.complete_json`.
+
+        Malformed-output retries nudge the temperature, which also takes
+        them out of the dedup/batch pool — a retry must not be collapsed
+        onto the in-flight request that just produced garbage. When the
+        underlying client caches responses, the poisoned entry is dropped
+        so the retry reaches the backend.
+        """
+        last_error: Optional[MalformedOutputError] = None
+        for attempt in range(json_retries + 1):
+            temperature = 0.0 if attempt == 0 else 0.1
+            response = self.complete(
+                prompt,
+                model=model,
+                max_output_tokens=max_output_tokens,
+                temperature=temperature,
+            )
+            try:
+                return repair_json(response.text)
+            except MalformedOutputError as exc:
+                last_error = exc
+                drop = getattr(self.scheduler.client, "_drop_cached", None)
+                if drop is not None:
+                    drop(model, prompt, max_output_tokens)
+        assert last_error is not None
+        raise last_error
+
+    def complete_many(
+        self,
+        prompts: List[str],
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        parallelism: int = 8,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Submit all prompts at once and gather in input order.
+
+        The scheduler does the batching; ``parallelism`` is accepted for
+        interface compatibility but concurrency is governed by the
+        scheduler's dispatch configuration.
+        """
+        del parallelism
+        futures = [
+            self.scheduler.submit(
+                prompt,
+                model=model,
+                max_output_tokens=max_output_tokens,
+                priority=self.priority,
+            )
+            for prompt in prompts
+        ]
+        results: List[Any] = []
+        for future in futures:
+            try:
+                results.append(future.result(timeout=self.request_timeout_s))
+            except Exception as exc:  # noqa: BLE001 - isolate per request
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results

@@ -1,0 +1,579 @@
+"""The shared LLM request scheduler: micro-batching, dedup, priorities.
+
+The paper's stack funnels *all* LLM traffic — Luna planning, per-document
+transforms, summarization trees — through hosted model endpoints, and its
+cost/latency story depends on how efficiently that traffic is scheduled
+(§3 "LLMs are slow and expensive"). ScaleDoc (arXiv:2509.12610) and
+"Towards Accurate and Efficient Document Analytics with LLMs"
+(arXiv:2405.04674) both show that batching, dedup and admission-aware
+scheduling of LLM predicates dominate end-to-end performance at
+collection scale. This module is that serving substrate:
+
+* **Micro-batching** — requests for the same (model, max_tokens) are
+  collected into batches of up to ``max_batch_size``, waiting at most
+  ``max_wait_ms`` from the first request's arrival, then drained into
+  :meth:`LLMClient.complete_many` so the transport parallelizes them.
+* **In-flight dedup** — identical (model, prompt, max_tokens) requests
+  from concurrent pipelines share one upstream call: later submitters get
+  the *same* future, including its exception if the call fails.
+* **Two-level priority** — INTERACTIVE (Luna query paths) is served
+  before BULK (ETL/ingest), with a starvation guard that promotes BULK
+  after ``starvation_limit`` consecutive INTERACTIVE batches.
+* **Admission control** — each priority queue is bounded; submitting to a
+  full queue raises :class:`SchedulerSaturatedError` instead of growing
+  memory without bound (backpressure).
+* **Observability** — :meth:`RequestScheduler.stats` snapshots queue
+  depths, the batch-size histogram, dedup hits, and wait/service times;
+  ``python -m repro runtime-stats`` prints them.
+
+The scheduler composes with the reliability layer: its client is normally
+a :class:`repro.llm.client.ReliableLLM`, so every dispatched batch enjoys
+retries, the circuit breaker, the retry budget, and the response cache —
+and chaos schedules injected *below* the reliability layer exercise the
+queue under brownouts (see tests/test_scheduler.py).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..llm.base import LLMClient, LLMResponse
+
+
+class SchedulerError(RuntimeError):
+    """Base class for scheduler-level failures."""
+
+
+class SchedulerSaturatedError(SchedulerError):
+    """Admission control rejected a request: the target queue is full."""
+
+
+class SchedulerClosedError(SchedulerError):
+    """The scheduler is shut down; the request was not (or will not be)
+    dispatched."""
+
+
+class Priority(IntEnum):
+    """Admission classes, in service order.
+
+    INTERACTIVE is the latency-sensitive class (Luna planning and query
+    operators — a user is waiting); BULK is throughput-oriented ETL and
+    ingest traffic.
+    """
+
+    INTERACTIVE = 0
+    BULK = 1
+
+
+def _coerce_priority(priority: "Priority | int | str") -> Priority:
+    if isinstance(priority, Priority):
+        return priority
+    if isinstance(priority, str):
+        try:
+            return Priority[priority.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {priority!r}; known: "
+                f"{[p.name.lower() for p in Priority]}"
+            ) from None
+    return Priority(priority)
+
+
+#: Dedup key: requests identical along these axes share one upstream call.
+DedupKey = Tuple[str, str, Optional[int]]
+
+
+@dataclass
+class LLMRequest:
+    """One unit of admitted work: a completion request plus its future."""
+
+    prompt: str
+    model: str
+    max_output_tokens: Optional[int]
+    temperature: float
+    priority: Priority
+    future: "Future[LLMResponse]"
+    enqueued_at: float
+    #: Dedup key, or None when the request is not dedupable/batchable
+    #: (non-zero temperature).
+    key: Optional[DedupKey] = None
+
+    @property
+    def batchable(self) -> bool:
+        """Whether this request may share a batch (deterministic only)."""
+        return self.temperature == 0.0
+
+
+@dataclass
+class SchedulerStats:
+    """A point-in-time snapshot of scheduler counters.
+
+    Times are cumulative seconds; histogram maps batch size -> count.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    dedup_hits: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches_dispatched: int = 0
+    starvation_promotions: int = 0
+    queue_depth_interactive: int = 0
+    queue_depth_bulk: int = 0
+    peak_queue_depth: int = 0
+    total_wait_s: float = 0.0
+    total_service_s: float = 0.0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def upstream_requests(self) -> int:
+        """Requests actually dispatched (admitted minus still-queued,
+        minus dedup-shared waiters)."""
+        return self.completed + self.failed
+
+    def avg_batch_size(self) -> float:
+        """Mean dispatched batch size (0.0 before any dispatch)."""
+        total = sum(size * count for size, count in self.batch_size_histogram.items())
+        return total / self.batches_dispatched if self.batches_dispatched else 0.0
+
+    def avg_wait_ms(self) -> float:
+        """Mean queue wait per dispatched request, in milliseconds."""
+        done = self.completed + self.failed
+        return (self.total_wait_s / done) * 1000.0 if done else 0.0
+
+    def avg_service_ms(self) -> float:
+        """Mean service (dispatch -> resolution) time per batch, in ms."""
+        n = self.batches_dispatched
+        return (self.total_service_s / n) * 1000.0 if n else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict view (stable keys) for logging and the CLI."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "dedup_hits": self.dedup_hits,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "batches_dispatched": self.batches_dispatched,
+            "starvation_promotions": self.starvation_promotions,
+            "queue_depth_interactive": self.queue_depth_interactive,
+            "queue_depth_bulk": self.queue_depth_bulk,
+            "peak_queue_depth": self.peak_queue_depth,
+            "avg_batch_size": round(self.avg_batch_size(), 3),
+            "avg_wait_ms": round(self.avg_wait_ms(), 3),
+            "avg_service_ms": round(self.avg_service_ms(), 3),
+            "batch_size_histogram": dict(sorted(self.batch_size_histogram.items())),
+        }
+
+
+class RequestScheduler:
+    """Process-wide scheduler all LLM call sites submit through.
+
+    Parameters
+    ----------
+    client:
+        The transport to drain batches into — normally a
+        :class:`repro.llm.client.ReliableLLM`. May be None at
+        construction and bound later (``scheduler.client = llm``);
+        :class:`repro.sycamore.context.SycamoreContext` binds its own
+        reliability-wrapped client to an unbound scheduler.
+    max_batch_size:
+        Upper bound on requests per dispatched batch.
+    max_wait_ms:
+        Micro-batch window: how long a batch may wait (from its first
+        request's arrival) for more compatible requests. 0 dispatches
+        whatever is immediately available.
+    max_queue_depth:
+        Per-priority admission bound; a full queue rejects submissions
+        with :class:`SchedulerSaturatedError`.
+    dispatch_parallelism:
+        How many batches may be in flight at once.
+    starvation_limit:
+        Consecutive INTERACTIVE batches after which a waiting BULK batch
+        is promoted (the starvation guard).
+    dedup:
+        Whether identical in-flight requests share one upstream call.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        client: Optional[LLMClient] = None,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue_depth: int = 1024,
+        dispatch_parallelism: int = 4,
+        starvation_limit: int = 4,
+        dedup: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if dispatch_parallelism < 1:
+            raise ValueError("dispatch_parallelism must be >= 1")
+        if starvation_limit < 1:
+            raise ValueError("starvation_limit must be >= 1")
+        self.client = client
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.dispatch_parallelism = dispatch_parallelism
+        self.starvation_limit = starvation_limit
+        self.dedup = dedup
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queues: Dict[Priority, Deque[LLMRequest]] = {
+            Priority.INTERACTIVE: deque(),
+            Priority.BULK: deque(),
+        }
+        self._inflight: Dict[DedupKey, "Future[LLMResponse]"] = {}
+        self._stats = SchedulerStats()
+        self._consecutive_interactive = 0
+        self._closed = False
+        self._drain_on_close = True
+        self._dispatch_slots = threading.Semaphore(dispatch_parallelism)
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=dispatch_parallelism,
+            thread_name_prefix="repro-sched-dispatch",
+        )
+        self._worker = threading.Thread(
+            target=self._run, name="repro-sched-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        temperature: float = 0.0,
+        priority: "Priority | int | str" = Priority.BULK,
+    ) -> "Future[LLMResponse]":
+        """Admit a request; returns a future resolving to its response.
+
+        Identical in-flight requests (same model, prompt, max_tokens, at
+        temperature 0) return the *same* future — one upstream call, and
+        one shared exception if it fails.
+        """
+        priority = _coerce_priority(priority)
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosedError("scheduler is closed")
+            self._stats.submitted += 1
+            key: Optional[DedupKey] = None
+            if self.dedup and temperature == 0.0:
+                key = (model, prompt, max_output_tokens)
+                shared = self._inflight.get(key)
+                if shared is not None:
+                    self._stats.dedup_hits += 1
+                    return shared
+            queue = self._queues[priority]
+            if len(queue) >= self.max_queue_depth:
+                self._stats.rejected += 1
+                raise SchedulerSaturatedError(
+                    f"{priority.name.lower()} queue is full "
+                    f"({self.max_queue_depth} requests)"
+                )
+            future: "Future[LLMResponse]" = Future()
+            request = LLMRequest(
+                prompt=prompt,
+                model=model,
+                max_output_tokens=max_output_tokens,
+                temperature=temperature,
+                priority=priority,
+                future=future,
+                enqueued_at=self._clock(),
+                key=key,
+            )
+            if key is not None:
+                self._inflight[key] = future
+            queue.append(request)
+            self._stats.admitted += 1
+            depth = sum(len(q) for q in self._queues.values())
+            if depth > self._stats.peak_queue_depth:
+                self._stats.peak_queue_depth = depth
+            self._cond.notify_all()
+            return future
+
+    def complete(
+        self,
+        prompt: str,
+        model: str = "sim-large",
+        max_output_tokens: Optional[int] = None,
+        temperature: float = 0.0,
+        priority: "Priority | int | str" = Priority.BULK,
+        timeout: Optional[float] = None,
+    ) -> LLMResponse:
+        """Submit and block for the response (convenience wrapper)."""
+        return self.submit(
+            prompt,
+            model=model,
+            max_output_tokens=max_output_tokens,
+            temperature=temperature,
+            priority=priority,
+        ).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> SchedulerStats:
+        """A consistent snapshot of the scheduler's counters."""
+        with self._cond:
+            snapshot = SchedulerStats(
+                submitted=self._stats.submitted,
+                admitted=self._stats.admitted,
+                rejected=self._stats.rejected,
+                dedup_hits=self._stats.dedup_hits,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                cancelled=self._stats.cancelled,
+                batches_dispatched=self._stats.batches_dispatched,
+                starvation_promotions=self._stats.starvation_promotions,
+                queue_depth_interactive=len(self._queues[Priority.INTERACTIVE]),
+                queue_depth_bulk=len(self._queues[Priority.BULK]),
+                peak_queue_depth=self._stats.peak_queue_depth,
+                total_wait_s=self._stats.total_wait_s,
+                total_service_s=self._stats.total_service_s,
+                batch_size_histogram=dict(self._stats.batch_size_histogram),
+            )
+        return snapshot
+
+    def metrics(self) -> Dict[str, Any]:
+        """Flat counter dict (the shape ReliableLLM.metrics uses)."""
+        return self.stats().as_dict()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down. ``drain=True`` dispatches everything already queued
+        first; ``drain=False`` fails queued futures with
+        :class:`SchedulerClosedError`. Either way no future is lost."""
+        cancelled: List[LLMRequest] = []
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            if not drain:
+                for queue in self._queues.values():
+                    while queue:
+                        cancelled.append(queue.popleft())
+                for request in cancelled:
+                    if request.key is not None:
+                        self._inflight.pop(request.key, None)
+                    self._stats.cancelled += 1
+            self._cond.notify_all()
+        for request in cancelled:
+            request.future.set_exception(
+                SchedulerClosedError("scheduler closed before dispatch")
+            )
+        self._worker.join(timeout=timeout)
+        self._dispatch_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker: batch formation and dispatch
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            # Claim a dispatch slot *before* forming a batch, so batch
+            # wait times are measured against real dispatch capacity —
+            # and never while holding the lock (dispatch threads need it
+            # to resolve futures).
+            self._dispatch_slots.acquire()
+            with self._cond:
+                while not self._closed and self._total_depth() == 0:
+                    self._cond.wait()
+                if self._total_depth() == 0:  # closed and empty: done
+                    self._dispatch_slots.release()
+                    return
+                batch = self._form_batch_locked()
+            try:
+                self._dispatch_pool.submit(self._dispatch, batch)
+            except RuntimeError:  # pool torn down mid-close
+                self._dispatch_slots.release()
+                self._fail_batch(
+                    batch, SchedulerClosedError("scheduler closed during dispatch")
+                )
+
+    def _total_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _pick_priority_locked(self) -> Priority:
+        interactive = self._queues[Priority.INTERACTIVE]
+        bulk = self._queues[Priority.BULK]
+        if not bulk:
+            return Priority.INTERACTIVE
+        if not interactive:
+            self._consecutive_interactive = 0
+            return Priority.BULK
+        # Both non-empty: serve INTERACTIVE unless it has monopolized the
+        # last ``starvation_limit`` batches.
+        if self._consecutive_interactive >= self.starvation_limit:
+            self._consecutive_interactive = 0
+            self._stats.starvation_promotions += 1
+            return Priority.BULK
+        return Priority.INTERACTIVE
+
+    def _form_batch_locked(self) -> List[LLMRequest]:
+        priority = self._pick_priority_locked()
+        if priority == Priority.INTERACTIVE:
+            self._consecutive_interactive += 1
+        queue = self._queues[priority]
+        head = queue.popleft()
+        batch = [head]
+        if not head.batchable or self.max_batch_size == 1:
+            return batch
+        deadline = head.enqueued_at + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            self._take_compatible_locked(queue, head, batch)
+            if len(batch) >= self.max_batch_size or self._closed:
+                break
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            self._cond.wait(timeout=remaining)
+        return batch
+
+    @staticmethod
+    def _compatible(head: LLMRequest, other: LLMRequest) -> bool:
+        return (
+            other.batchable
+            and other.model == head.model
+            and other.max_output_tokens == head.max_output_tokens
+        )
+
+    def _take_compatible_locked(
+        self, queue: Deque[LLMRequest], head: LLMRequest, batch: List[LLMRequest]
+    ) -> None:
+        """Move queue entries compatible with ``head`` into ``batch``,
+        preserving the relative order of everything left behind."""
+        kept: List[LLMRequest] = []
+        while queue and len(batch) < self.max_batch_size:
+            candidate = queue.popleft()
+            if self._compatible(head, candidate):
+                batch.append(candidate)
+            else:
+                kept.append(candidate)
+        for request in reversed(kept):
+            queue.appendleft(request)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, batch: List[LLMRequest]) -> None:
+        started = self._clock()
+        try:
+            client = self.client
+            if client is None:
+                results: List[Any] = [
+                    SchedulerError("scheduler has no client bound")
+                ] * len(batch)
+            else:
+                results = self._call_client(client, batch)
+        except BaseException as exc:  # noqa: BLE001 - whole-batch failure
+            results = [exc] * len(batch)
+        finished = self._clock()
+        with self._cond:
+            self._stats.batches_dispatched += 1
+            size = len(batch)
+            self._stats.batch_size_histogram[size] = (
+                self._stats.batch_size_histogram.get(size, 0) + 1
+            )
+            self._stats.total_service_s += finished - started
+            for request, result in zip(batch, results):
+                self._stats.total_wait_s += started - request.enqueued_at
+                if request.key is not None:
+                    self._inflight.pop(request.key, None)
+                if isinstance(result, BaseException):
+                    self._stats.failed += 1
+                else:
+                    self._stats.completed += 1
+            self._cond.notify_all()
+        self._dispatch_slots.release()
+        for request, result in zip(batch, results):
+            try:
+                if isinstance(result, BaseException):
+                    request.future.set_exception(result)
+                else:
+                    request.future.set_result(result)
+            except BaseException:  # caller cancelled the future while queued
+                with self._cond:
+                    self._stats.cancelled += 1
+
+    def _call_client(self, client: LLMClient, batch: List[LLMRequest]) -> List[Any]:
+        head = batch[0]
+        if len(batch) == 1 and not head.batchable:
+            # Stochastic request: dispatch alone, preserving temperature.
+            try:
+                return [
+                    client.complete(
+                        head.prompt,
+                        model=head.model,
+                        max_output_tokens=head.max_output_tokens,
+                        temperature=head.temperature,
+                    )
+                ]
+            except Exception as exc:  # noqa: BLE001
+                return [exc]
+        complete_many = getattr(client, "complete_many", None)
+        if complete_many is not None:
+            try:
+                return complete_many(
+                    [request.prompt for request in batch],
+                    model=head.model,
+                    max_output_tokens=head.max_output_tokens,
+                    return_exceptions=True,
+                )
+            except TypeError:
+                pass  # client predates return_exceptions; fall through
+        results: List[Any] = []
+        for request in batch:
+            try:
+                results.append(
+                    client.complete(
+                        request.prompt,
+                        model=request.model,
+                        max_output_tokens=request.max_output_tokens,
+                        temperature=request.temperature,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate per request
+                results.append(exc)
+        return results
+
+    def _fail_batch(self, batch: List[LLMRequest], exc: Exception) -> None:
+        with self._cond:
+            for request in batch:
+                if request.key is not None:
+                    self._inflight.pop(request.key, None)
+                self._stats.cancelled += 1
+        for request in batch:
+            request.future.set_exception(exc)

@@ -24,6 +24,7 @@ from ..llm.base import LLMClient
 from ..llm.client import ReliableLLM
 from ..llm.cost import CostTracker
 from ..llm.simulated import SimulatedLLM
+from ..runtime import Priority, RequestScheduler, ScheduledLLM
 
 if TYPE_CHECKING:
     from .docset import DocSet
@@ -36,6 +37,12 @@ class SycamoreContext:
     wrapped in the reliability layer, a hashing embedder, a fresh index
     catalog, and single-threaded execution. ``default_model`` is what
     LLM-powered transforms use when not told otherwise.
+
+    ``scheduler`` optionally routes every LLM-powered transform through a
+    shared :class:`repro.runtime.RequestScheduler` (micro-batching,
+    in-flight dedup, priority admission). A scheduler constructed without
+    a client is bound to this context's reliability-wrapped LLM, so the
+    dispatch path keeps retries, the circuit breaker and the cache.
     """
 
     def __init__(
@@ -48,6 +55,7 @@ class SycamoreContext:
         default_model: str = "sim-large",
         seed: int = 0,
         on_error: str = "retry",
+        scheduler: Optional[RequestScheduler] = None,
     ):
         self.cost_tracker = CostTracker()
         if llm is None:
@@ -55,6 +63,10 @@ class SycamoreContext:
         elif not isinstance(llm, ReliableLLM):
             llm = ReliableLLM(llm)
         self.llm: ReliableLLM = llm
+        self.scheduler = scheduler
+        if scheduler is not None and scheduler.client is None:
+            scheduler.client = self.llm
+        self._scheduled_clients: dict = {}
         self.embedder: Embedder = embedder or HashingEmbedder(seed=seed)
         self.catalog = catalog or IndexCatalog(embedder=self.embedder)
         self.lineage = Lineage()
@@ -66,6 +78,23 @@ class SycamoreContext:
         #: this context (dead letters, skips, retries — see repro.execution).
         self.last_stats = None
         self.read = _Readers(self)
+
+    def llm_for(self, priority: "Priority | str" = Priority.BULK) -> LLMClient:
+        """The client call sites should use for the given priority class.
+
+        With a scheduler configured this is a :class:`ScheduledLLM` bound
+        to that priority; without one it falls back to the direct
+        reliability-wrapped client.
+        """
+        if self.scheduler is None:
+            return self.llm
+        if isinstance(priority, str):
+            priority = Priority[priority.upper()]
+        client = self._scheduled_clients.get(priority)
+        if client is None:
+            client = ScheduledLLM(self.scheduler, priority)
+            self._scheduled_clients[priority] = client
+        return client
 
     def executor(self, on_error: Optional[str] = None) -> Executor:
         """A fresh executor honouring this context's configuration.
@@ -79,6 +108,7 @@ class SycamoreContext:
             max_task_retries=self.max_task_retries,
             lineage=self.lineage,
             on_error=on_error or self.on_error,
+            scheduler=self.scheduler,
         )
 
 

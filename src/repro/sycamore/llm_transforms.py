@@ -8,13 +8,22 @@ extract_properties and summarize that leverage built-in prompts."
 
 Each factory returns a per-document callable suitable for a plan ``map``
 or ``filter`` node; prompt assembly, JSON parsing and retries all go
-through the reliability layer.
+through the reliability layer, and — when the context carries a
+:class:`repro.runtime.RequestScheduler` — every call is admitted through
+the shared scheduler at the factory's priority class (BULK for ETL by
+default; Luna's query operators pass INTERACTIVE).
+
+The static part of each prompt (instructions, schema, condition, ...) is
+identical for every document, so factories render it once through a
+process-wide prefix cache and append only the document section per call;
+:func:`prompt_prefix_cache_info` reports the hit/miss counters.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..docmodel.document import Document
 from ..llm.prompts import (
@@ -22,15 +31,72 @@ from ..llm.prompts import (
     EXTRACT_PROPERTIES,
     FILTER_DOCUMENT,
     PromptTemplate,
-    SUMMARIZE_COLLECTION,
     SUMMARIZE_DOCUMENT,
+    append_section,
     render_task_prompt,
 )
+from ..runtime import Priority
 from .context import SycamoreContext
+
+
+class _PromptPrefixCache:
+    """Memoizes the static prefix of per-document prompts.
+
+    Luna builds a fresh transform factory per plan node and ETL scripts
+    rebuild pipelines per corpus; this cache makes the static prompt text
+    a one-time cost per distinct (task, static sections) pair instead of
+    a per-factory (previously per-document) one.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def render_prefix(self, task: str, sections: Dict[str, str]) -> str:
+        """The rendered prompt up to (excluding) the document section."""
+        key = (task, tuple(sections.items()))
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        prefix = render_task_prompt(task, sections)
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                self._entries.clear()  # tiny corpus of prefixes; full reset is fine
+            self._entries[key] = prefix
+        return prefix
+
+    def info(self) -> Dict[str, int]:
+        """Counters: hits, misses, current size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+            }
+
+
+PROMPT_PREFIX_CACHE = _PromptPrefixCache()
+
+
+def prompt_prefix_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared prompt-prefix cache."""
+    return PROMPT_PREFIX_CACHE.info()
 
 
 def _document_text(document: Document, num_elements: Optional[int]) -> str:
     return document.text_representation(max_elements=num_elements)
+
+
+def _template_prefix(template: PromptTemplate, **static: str) -> str:
+    sections = {"instructions": template.instructions}
+    sections.update(static)
+    return PROMPT_PREFIX_CACHE.render_prefix(template.task, sections)
 
 
 def make_extract_properties_fn(
@@ -38,16 +104,19 @@ def make_extract_properties_fn(
     schema: Dict[str, str],
     model: Optional[str] = None,
     num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], Document]:
     """Per-document property extraction against a JSON schema (Fig. 3/4)."""
     schema_json = json.dumps(schema, sort_keys=True)
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(EXTRACT_PROPERTIES, schema=schema_json)
 
     def extract(document: Document) -> Document:
-        prompt = EXTRACT_PROPERTIES.render(
-            schema=schema_json, document=_document_text(document, num_elements)
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
         )
-        values = context.llm.complete_json(prompt, model=model_name)
+        values = llm.complete_json(prompt, model=model_name)
         result = document.copy()
         if isinstance(values, dict):
             for key in schema:
@@ -64,6 +133,7 @@ def make_llm_query_fn(
     model: Optional[str] = None,
     num_elements: Optional[int] = None,
     parse_json: bool = False,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], Document]:
     """The generic ``llm_query`` transform.
 
@@ -74,23 +144,40 @@ def make_llm_query_fn(
     properties of the document".
     """
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
+    if isinstance(prompt, PromptTemplate):
+        missing = [name for name in prompt.required_fields if name != "document"]
+        if missing:
+            raise ValueError(f"missing prompt fields: {missing}")
+        static_prefix: Optional[str] = _template_prefix(prompt)
+    else:
+        # A plain instruction string without placeholders is static too;
+        # one with placeholders must be re-filled per document.
+        has_placeholders = "{" in prompt
+        static_prefix = (
+            None
+            if has_placeholders
+            else PROMPT_PREFIX_CACHE.render_prefix(
+                "llm_query", {"instructions": prompt}
+            )
+        )
 
     def query(document: Document) -> Document:
         text = _document_text(document, num_elements)
-        if isinstance(prompt, PromptTemplate):
-            rendered = prompt.render(document=text)
+        if static_prefix is not None:
+            rendered = append_section(static_prefix, "document", text)
         else:
-            instructions = _fill_placeholders(prompt, document.properties)
+            instructions = _fill_placeholders(str(prompt), document.properties)
             rendered = render_task_prompt(
                 "llm_query", {"instructions": instructions, "document": text}
             )
         result = document.copy()
         if parse_json:
-            result.properties[output_property] = context.llm.complete_json(
+            result.properties[output_property] = llm.complete_json(
                 rendered, model=model_name
             )
         else:
-            result.properties[output_property] = context.llm.complete(
+            result.properties[output_property] = llm.complete(
                 rendered, model=model_name
             ).text
         return result
@@ -103,15 +190,18 @@ def make_llm_filter_fn(
     condition: str,
     model: Optional[str] = None,
     num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], bool]:
     """Semantic filter: keep documents satisfying a natural-language condition."""
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(FILTER_DOCUMENT, condition=condition)
 
     def predicate(document: Document) -> bool:
-        prompt = FILTER_DOCUMENT.render(
-            condition=condition, document=_document_text(document, num_elements)
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
         )
-        answer = context.llm.complete(prompt, model=model_name).text
+        answer = llm.complete(prompt, model=model_name).text
         return answer.strip().lower().startswith("y")
 
     return predicate
@@ -123,17 +213,19 @@ def make_summarize_fn(
     model: Optional[str] = None,
     max_sentences: int = 3,
     num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], Document]:
     """Per-document summarization into a property."""
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(SUMMARIZE_DOCUMENT, max_sentences=str(max_sentences))
 
     def summarize(document: Document) -> Document:
-        prompt = SUMMARIZE_DOCUMENT.render(
-            document=_document_text(document, num_elements),
-            max_sentences=str(max_sentences),
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
         )
         result = document.copy()
-        result.properties[output_property] = context.llm.complete(
+        result.properties[output_property] = llm.complete(
             prompt, model=model_name
         ).text
         return result
@@ -147,17 +239,20 @@ def make_classify_fn(
     output_property: str,
     model: Optional[str] = None,
     num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], Document]:
     """Classify each document into one of ``categories``."""
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
     category_list = ", ".join(categories)
+    prefix = _template_prefix(CLASSIFY_TEXT, categories=category_list)
 
     def classify(document: Document) -> Document:
-        prompt = CLASSIFY_TEXT.render(
-            categories=category_list, document=_document_text(document, num_elements)
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
         )
         result = document.copy()
-        answer = context.llm.complete(prompt, model=model_name).text.strip()
+        answer = llm.complete(prompt, model=model_name).text.strip()
         result.properties[output_property] = answer if answer in categories else None
         return result
 
@@ -169,6 +264,7 @@ def make_extract_entities_fn(
     output_property: str = "entities",
     model: Optional[str] = None,
     num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
 ) -> Callable[[Document], Document]:
     """Extract (subject, predicate, object) triples into a property.
 
@@ -179,12 +275,14 @@ def make_extract_entities_fn(
     from ..llm.prompts import EXTRACT_ENTITIES
 
     model_name = model or context.default_model
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(EXTRACT_ENTITIES)
 
     def extract(document: Document) -> Document:
-        prompt = EXTRACT_ENTITIES.render(
-            document=_document_text(document, num_elements)
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
         )
-        payload = context.llm.complete_json(prompt, model=model_name)
+        payload = llm.complete_json(prompt, model=model_name)
         result = document.copy()
         triples = []
         if isinstance(payload, list):
@@ -225,6 +323,7 @@ def summarize_collection(
     question: Optional[str] = None,
     per_doc_sentences: int = 1,
     max_docs: int = 50,
+    priority: "Priority | str" = Priority.BULK,
 ) -> str:
     """Collection-level synthesis used by terminal summarize and Luna.
 
@@ -244,7 +343,7 @@ def summarize_collection(
     if question:
         sections["question"] = question
     prompt = render_task_prompt("summarize_collection", sections)
-    return context.llm.complete(prompt, model=model_name).text
+    return context.llm_for(priority).complete(prompt, model=model_name).text
 
 
 def _fill_placeholders(template: str, properties: Dict[str, Any]) -> str:
