@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Check internal links in the repo's documentation.
+
+Validates, for each checked markdown file:
+
+* relative links ``[text](path)`` point at files/directories that exist;
+* anchor links ``[text](path#anchor)`` and ``[text](#anchor)`` resolve
+  to a heading in the target file (GitHub slug rules, simplified);
+* backtick references to repo paths (``tests/...``, ``benchmarks/...``,
+  ``examples/...``, ``docs/...``, ``src/repro/...``) exist on disk.
+
+External links (http/https/mailto) are not fetched — CI must not
+depend on the network. Exit code 0 iff everything resolves.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+]
+
+MD_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(
+    r"`((?:tests|benchmarks|examples|docs|scripts|src/repro)/[\w./-]+?)`"
+)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (simplified but sufficient)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def anchors_of(path: Path) -> set:
+    return {github_slug(h) for h in HEADING.findall(path.read_text())}
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — links inside them are illustrative."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_file(doc: Path) -> list:
+    errors = []
+    text = doc.read_text()
+    prose = strip_code_blocks(text)
+    for label, target in MD_LINK.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc}: broken link [{label}]({target})")
+                continue
+        else:
+            resolved = doc
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                errors.append(
+                    f"{doc}: missing anchor [{label}]({target})"
+                )
+    for ref in CODE_PATH.findall(prose):
+        if not (REPO / ref).exists():
+            errors.append(f"{doc}: stale path reference `{ref}`")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for name in DOCS:
+        doc = REPO / name
+        if not doc.exists():
+            errors.append(f"missing documentation file: {name}")
+            continue
+        errors.extend(check_file(doc))
+    if errors:
+        print(f"{len(errors)} broken documentation reference(s):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"doc links OK across {len(DOCS)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Layered like the paper's architecture (Figure 1):
   keyword/vector/graph stores, Ray-like dataflow execution).
 * :mod:`repro.runtime` — the shared LLM request scheduler
   (micro-batching, in-flight dedup, priority admission control).
+* :mod:`repro.observability` — query tracing, the process metrics
+  registry, and per-query cost accounting (see docs/ARCHITECTURE.md).
 * :mod:`repro.rag` — the retrieval-augmented-generation baseline.
 * :mod:`repro.datagen`, :mod:`repro.evaluation` — synthetic corpora and
   the benchmark harnesses.
@@ -36,6 +38,15 @@ Quickstart::
 
 from .docmodel import Document, Element, Table
 from .luna import Luna, LunaResult
+from .observability import (
+    CostAccount,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    get_registry,
+    render_trace_tree,
+    write_trace_json,
+)
 from .partitioner import ArynPartitioner, NaiveTextPartitioner
 from .rag import RagPipeline
 from .runtime import Priority, RequestScheduler
@@ -45,16 +56,23 @@ __version__ = "0.1.0"
 
 __all__ = [
     "ArynPartitioner",
+    "CostAccount",
     "DocSet",
     "Document",
     "Element",
     "Luna",
     "LunaResult",
+    "MetricsRegistry",
     "NaiveTextPartitioner",
     "Priority",
     "RagPipeline",
     "RequestScheduler",
+    "Span",
     "SycamoreContext",
     "Table",
+    "Tracer",
+    "get_registry",
+    "render_trace_tree",
+    "write_trace_json",
     "__version__",
 ]

@@ -24,6 +24,15 @@ Commands
     :class:`repro.runtime.RequestScheduler` and print its statistics —
     batch-size histogram, dedup hits, priority queue traffic, wait and
     service times.
+``trace``
+    Run a Luna query and print its span tree: query -> plan ->
+    operators -> transforms -> LLM requests, each request line carrying
+    its tokens, simulated dollars, cache/dedup provenance and scheduler
+    batch link — plus the per-operator cost account. ``--json`` writes
+    the same trace as a JSON document.
+``metrics``
+    Run the ETL build and a Luna query, then print the process-wide
+    metrics registry (``--prefix`` filters, e.g. ``--prefix llm.``).
 
 All commands are offline and deterministic for a given ``--seed``.
 """
@@ -32,11 +41,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from . import ArynPartitioner, Luna, RequestScheduler, SycamoreContext
 from .datagen import generate_earnings_corpus, generate_ntsb_corpus
 from .faults import BrownoutWindow, FaultInjector, FaultSchedule
+from .observability import get_registry, render_trace_tree, write_trace_json
 
 _NTSB_SCHEMA = {
     "state": "string",
@@ -139,6 +149,24 @@ def _make_scheduler(args: argparse.Namespace) -> RequestScheduler:
     )
 
 
+def _print_registry(prefix: str = "") -> None:
+    """Print the process metrics registry (the unified telemetry view)."""
+    snapshot: Dict[str, Any] = get_registry().snapshot(prefix)
+    if not snapshot:
+        print("  (no metrics recorded)")
+        return
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):  # histogram summary
+            print(
+                f"  {name}: count={value['count']} mean={value['mean']:.4f} "
+                f"p50={value['p50']:.4f} p90={value['p90']:.4f} "
+                f"p99={value['p99']:.4f} max={value['max']:.4f}"
+            )
+        else:
+            print(f"  {name}: {value:g}")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
     scheduler = _make_scheduler(args)
@@ -182,6 +210,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  - {line}")
     print(f"llm metrics: {ctx.llm.metrics()}")
     _print_scheduler_stats(scheduler)
+    print("\nmetrics registry (llm/scheduler/faults):")
+    for prefix in ("llm.", "scheduler.", "faults."):
+        _print_registry(prefix)
+    if args.trace_json:
+        spans = ctx.tracer.trace_spans(result.trace.trace_id)
+        path = write_trace_json(args.trace_json, spans, result.trace.cost)
+        print(f"\ntrace JSON written to {path}")
     scheduler.close()
     return 0
 
@@ -204,6 +239,46 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
     query_admitted = scheduler.metrics()["admitted"] - after_etl["admitted"]
     print(f"query (INTERACTIVE) traffic: {query_admitted} requests")
     _print_scheduler_stats(scheduler)
+    print("\nmetrics registry (full):")
+    _print_registry()
+    scheduler.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
+    luna = Luna(ctx, policy=args.policy)
+    result = luna.query(args.question, index=args.dataset)
+    spans = ctx.tracer.trace_spans(result.trace.trace_id)
+    print(f"\nanswer: {result.answer}")
+    print(f"\ntrace {result.trace.trace_id} ({len(spans)} spans):")
+    print(render_trace_tree(spans, max_spans=args.max_spans))
+    if result.trace.cost is not None:
+        print("\ncost account:")
+        print(result.trace.cost.render())
+    if args.json:
+        path = write_trace_json(args.json, spans, result.trace.cost)
+        print(f"\ntrace JSON written to {path}")
+    scheduler.close()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
+    luna = Luna(ctx, policy=args.policy)
+    result = luna.query(args.question, index=args.dataset)
+    print(f"\nanswer: {result.answer}")
+    prefix = args.prefix
+    print(f"\nmetrics registry{f' (prefix {prefix!r})' if prefix else ''}:")
+    _print_registry(prefix)
     scheduler.close()
     return 0
 
@@ -306,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="START:END",
         help="call-index window of 100%% transient failures, e.g. 5:25",
     )
+    chaos.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="write the chaos query's trace as a JSON document",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
     runtime_stats = sub.add_parser(
@@ -324,6 +405,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", choices=("ntsb", "earnings"), default="ntsb"
     )
     runtime_stats.set_defaults(handler=_cmd_runtime_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a query and print its span tree with per-operator costs",
+    )
+    common(trace)
+    scheduler_opts(trace)
+    trace.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    trace.add_argument("--dataset", choices=("ntsb", "earnings"), default="ntsb")
+    trace.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the trace as a JSON document",
+    )
+    trace.add_argument(
+        "--max-spans", type=int, default=400, help="tree-rendering span cap"
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run ETL + a query and print the process metrics registry",
+    )
+    common(metrics)
+    scheduler_opts(metrics)
+    metrics.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    metrics.add_argument(
+        "--dataset", choices=("ntsb", "earnings"), default="ntsb"
+    )
+    metrics.add_argument(
+        "--prefix",
+        default="",
+        help="only print metrics whose name starts with this (e.g. llm.)",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     partition = sub.add_parser(
         "partition", help="show the partitioner's output for one report"

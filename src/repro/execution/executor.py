@@ -10,12 +10,16 @@ stage semantics.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
+from ..observability.cost import CostAccount
+from ..observability.metrics import MetricsRegistry, get_registry
+from ..observability.tracing import Span, Tracer
 from .lineage import Lineage
 from .plan import Plan, PlanNode
 
@@ -79,6 +83,10 @@ class ExecutionStats:
     #: execution (submitted, completed, dedup hits, batches, ...) when
     #: the executor runs against a :class:`repro.runtime.RequestScheduler`.
     scheduler: Optional[Dict[str, Any]] = None
+    #: Cost rollup derived from this execution's trace spans, when the
+    #: executor was constructed with a tracer. Same arithmetic as the
+    #: JSON trace export (both come from :meth:`CostAccount.from_spans`).
+    cost: Optional[CostAccount] = None
 
     def node(self, name: str) -> NodeStats:
         """Per-node stats record (created on first access)."""
@@ -124,6 +132,18 @@ class Executor:
         snapshots its counters around each execution so
         :class:`ExecutionStats` reports the plan's share of queue
         traffic, batching and dedup savings.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`. Each execution
+        gets a ``plan`` span with one ``transform`` span per per-record
+        node; task functions run *under* their node's transform span
+        (attached per call; parallel submissions each carry their own
+        copied :mod:`contextvars` context), so any LLM request spans
+        they open become its descendants. ``ExecutionStats.cost`` is
+        rolled up from the execution's spans on completion.
+    registry:
+        :class:`~repro.observability.MetricsRegistry` for aggregate
+        record/retry counters (default: the process registry).
+        :class:`ExecutionStats` remains the per-run view.
     """
 
     def __init__(
@@ -134,6 +154,8 @@ class Executor:
         batch_size: int = 32,
         on_error: str = "retry",
         scheduler: Optional[Any] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -149,6 +171,16 @@ class Executor:
         self.batch_size = batch_size
         self.on_error = on_error
         self.scheduler = scheduler
+        self.tracer = tracer
+        self.registry = registry if registry is not None else get_registry()
+        reg = self.registry
+        self._m_executions = reg.counter("executor.executions")
+        self._m_records_in = reg.counter("executor.records_in")
+        self._m_records_out = reg.counter("executor.records_out")
+        self._m_retries = reg.counter("executor.task_retries")
+        self._m_skipped = reg.counter("executor.records_skipped")
+        self._m_dead_lettered = reg.counter("executor.records_dead_lettered")
+        self._m_node_wall_s = reg.histogram("executor.node_wall_s")
         self.last_stats: Optional[ExecutionStats] = None
 
     # ------------------------------------------------------------------
@@ -157,10 +189,57 @@ class Executor:
         """Lazily yield the plan's output records."""
         stats = ExecutionStats()
         self.last_stats = stats
-        iterator = self._run_node(plan.node, stats)
+        self._m_executions.inc()
+        if self.tracer is not None:
+            plan_span = self.tracer.start_span(
+                f"execute:{plan.node.name}", kind="plan", root=plan.node.name
+            )
+            with self.tracer.attach(plan_span):
+                iterator = self._run_node(plan.node, stats)
+            iterator = self._finish_plan_span(iterator, plan_span, stats)
+        else:
+            iterator = self._run_node(plan.node, stats)
         if self.scheduler is None:
             return iterator
         return self._track_scheduler(iterator, stats, self.scheduler.metrics())
+
+    def _finish_plan_span(
+        self, iterator: Iterator[Any], span: Span, stats: ExecutionStats
+    ) -> Iterator[Any]:
+        """Close the plan span when iteration ends and roll up its cost."""
+        assert self.tracer is not None
+        try:
+            yield from iterator
+        except GeneratorExit:  # consumer stopped early: not an error
+            self.tracer.finish(span)
+            raise
+        except BaseException as exc:
+            self.tracer.finish(
+                span, status="error", error=f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        else:
+            self.tracer.finish(span)
+        finally:
+            stats.cost = CostAccount.from_spans(self._descendant_spans(span))
+
+    def _descendant_spans(self, root: Span) -> List[Span]:
+        """``root`` plus its descendants, from the tracer's span log.
+
+        The plan span may share a trace with a surrounding query span;
+        cost accounting for *this* execution only wants its subtree.
+        """
+        assert self.tracer is not None
+        trace = self.tracer.trace_spans(root.trace_id)
+        keep = {root.span_id}
+        selected = [root]
+        for span in trace:  # span log is in creation order: parents first
+            if span.span_id in keep:
+                continue
+            if span.parent_id in keep:
+                keep.add(span.span_id)
+                selected.append(span)
+        return selected
 
     def _track_scheduler(
         self, iterator: Iterator[Any], stats: ExecutionStats, before: Dict[str, Any]
@@ -251,23 +330,73 @@ class Executor:
     def _run_per_record(
         self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
     ) -> Iterator[Any]:
+        span: Optional[Span] = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                f"transform:{node.name}", kind="transform", node=node.name, mode=mode
+            )
         if self.parallelism == 1:
-            return self._per_record_serial(node, upstream, stats, mode)
-        return self._per_record_parallel(node, upstream, stats, mode)
+            inner = self._per_record_serial(node, upstream, stats, mode, span)
+        else:
+            inner = self._per_record_parallel(node, upstream, stats, mode, span)
+        if span is None:
+            return inner
+        return self._finish_node_span(inner, span, stats.node(node.name))
+
+    def _finish_node_span(
+        self, iterator: Iterator[Any], span: Span, node_stats: NodeStats
+    ) -> Iterator[Any]:
+        assert self.tracer is not None
+        try:
+            yield from iterator
+        except GeneratorExit:
+            span.set_attributes(
+                records_in=node_stats.records_in, records_out=node_stats.records_out
+            )
+            self.tracer.finish(span)
+            raise
+        except BaseException as exc:
+            span.set_attributes(
+                records_in=node_stats.records_in, records_out=node_stats.records_out
+            )
+            self.tracer.finish(
+                span, status="error", error=f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        span.set_attributes(
+            records_in=node_stats.records_in, records_out=node_stats.records_out
+        )
+        self.tracer.finish(span)
+        self._m_node_wall_s.observe(node_stats.wall_time_s)
 
     def _per_record_serial(
-        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
+        self,
+        node: PlanNode,
+        upstream: Iterator[Any],
+        stats: ExecutionStats,
+        mode: str,
+        span: Optional[Span] = None,
     ) -> Iterator[Any]:
         node_stats = stats.node(node.name)
         for record in upstream:
             node_stats.records_in += 1
+            self._m_records_in.inc()
             start = time.perf_counter()
-            result = self._apply_with_retry(node, record, node_stats, stats)
+            if span is not None and self.tracer is not None:
+                with self.tracer.attach(span):
+                    result = self._apply_with_retry(node, record, node_stats, stats)
+            else:
+                result = self._apply_with_retry(node, record, node_stats, stats)
             node_stats.wall_time_s += time.perf_counter() - start
             yield from self._emit(node, record, result, mode, node_stats)
 
     def _per_record_parallel(
-        self, node: PlanNode, upstream: Iterator[Any], stats: ExecutionStats, mode: str
+        self,
+        node: PlanNode,
+        upstream: Iterator[Any],
+        stats: ExecutionStats,
+        mode: str,
+        span: Optional[Span] = None,
     ) -> Iterator[Any]:
         node_stats = stats.node(node.name)
         start = time.perf_counter()
@@ -288,12 +417,28 @@ class Executor:
                         exhausted = True
                         break
                     node_stats.records_in += 1
+                    self._m_records_in.inc()
                     index = submitted
                     submitted += 1
                     inputs[index] = record
-                    future = pool.submit(
-                        self._apply_with_retry, node, record, node_stats, stats
-                    )
+                    if span is not None and self.tracer is not None:
+                        # One copied Context per task (a Context cannot be
+                        # entered concurrently); the copy carries the
+                        # transform span as the worker's ambient parent.
+                        with self.tracer.attach(span):
+                            task_ctx = contextvars.copy_context()
+                        future = pool.submit(
+                            task_ctx.run,
+                            self._apply_with_retry,
+                            node,
+                            record,
+                            node_stats,
+                            stats,
+                        )
+                    else:
+                        future = pool.submit(
+                            self._apply_with_retry, node, record, node_stats, stats
+                        )
                     future.index = index  # type: ignore[attr-defined]
                     pending.append(future)
                 if pending:
@@ -340,16 +485,19 @@ class Executor:
                 if attempt + 1 < attempts:
                     with _stats_lock:
                         node_stats.retries += 1
+                    self._m_retries.inc()
         assert last_error is not None
         if policy in ("fail", "retry"):
             raise TaskError(node.name, record, last_error)
         if policy == "skip":
             with _stats_lock:
                 node_stats.skipped += 1
+            self._m_skipped.inc()
             return _DROPPED
         with _stats_lock:  # dead_letter
             node_stats.dead_lettered += 1
             stats.dead_letters.append(DeadLetter(node.name, record, last_error))
+        self._m_dead_lettered.inc()
         return _DROPPED
 
     def _emit(
@@ -359,15 +507,18 @@ class Executor:
             return
         if mode == "map":
             node_stats.records_out += 1
+            self._m_records_out.inc()
             self._record_lineage(node, record, [result])
             yield result
         elif mode == "filter":
             if result:
                 node_stats.records_out += 1
+                self._m_records_out.inc()
                 yield record
         else:  # flat_map
             outputs = list(result)
             node_stats.records_out += len(outputs)
+            self._m_records_out.inc(len(outputs))
             self._record_lineage(node, record, outputs)
             yield from outputs
 

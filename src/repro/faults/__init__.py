@@ -18,6 +18,22 @@ Typical wiring::
     llm = ReliableLLM(flaky)                 # the layer under test
     ...
     print(injector.report())
+
+Invariants:
+
+* **Seeded determinism.** The fault decision for call *i* is a pure
+  function of ``(seed, i)`` (splitmix64-style mixing) — no RNG state is
+  shared between calls, so the injected sequence is identical across
+  runs and independent of thread interleaving. What *can* vary under
+  concurrency is which caller claims which index; the per-index
+  decisions themselves never do. Adding a draw per decision or reusing
+  a stateful RNG would break replayability.
+* **Decision log is the ground truth.** :class:`FaultInjector` claims
+  indexes under a lock and appends every decision to a replayable log;
+  ``report()`` and the per-kind counters derive from it. The
+  ``faults.*`` metrics published to the global registry
+  (:mod:`repro.observability`) are process-wide aggregates across all
+  injectors and may exceed any single injector's ledger.
 """
 
 from .injector import FaultInjector, FaultyLLM, InjectedFault

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..llm.base import LLMClient, LLMResponse
 from ..llm.errors import LLMTimeoutError, RateLimitError, TransientLLMError
+from ..observability.metrics import MetricsRegistry, get_registry
 from .schedule import BROWNOUT, FaultDecision, FaultSchedule
 
 
@@ -30,17 +31,25 @@ class FaultInjector:
 
     One injector can wrap several clients/functions; they share the call
     counter, so the schedule's indexes cover the whole run.
+
+    ``registry`` (default: the process registry) receives aggregate
+    ``faults.intercepted_calls`` / ``faults.injected.<kind>`` counters;
+    the per-instance ``injected`` dict and ``log`` stay the exact,
+    replayable ledger.
     """
 
     def __init__(
         self,
         schedule: FaultSchedule,
         sleeper: Callable[[float], None] = time.sleep,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.schedule = schedule
         self._sleeper = sleeper
         self._lock = threading.Lock()
         self._calls = 0
+        self.registry = registry if registry is not None else get_registry()
+        self._m_calls = self.registry.counter("faults.intercepted_calls")
         #: Injected-fault counts by kind.
         self.injected: Dict[str, int] = {}
         #: Every injected decision, in call order.
@@ -57,11 +66,13 @@ class FaultInjector:
         with self._lock:
             index = self._calls
             self._calls += 1
+        self._m_calls.inc()
         decision = self.schedule.decision(index)
         if decision.is_fault:
             with self._lock:
                 self.injected[decision.kind] = self.injected.get(decision.kind, 0) + 1
                 self.log.append(decision)
+            self.registry.counter(f"faults.injected.{decision.kind}").inc()
         return decision
 
     def report(self) -> str:

@@ -11,6 +11,7 @@ used by the execution engine to parallelize per-document LLM transforms.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import random
 import re
@@ -20,7 +21,10 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .base import LLMClient, LLMResponse
+from ..observability.metrics import MetricsRegistry, get_registry
+from ..observability.tracing import Span, Tracer
+from .base import LLMClient, LLMResponse, get_model_spec
+from .cost import CostTracker
 from .errors import (
     CircuitOpenError,
     LLMTimeoutError,
@@ -257,6 +261,19 @@ class ReliableLLM(LLMClient):
     batch_pool_workers:
         Size of the long-lived thread pool shared by every parallel
         :meth:`complete_many` call (one pool per client, not per batch).
+    tracker:
+        Optional :class:`~repro.llm.cost.CostTracker`. Cache hits are
+        recorded into it (``cached=True`` — zero dollars, full tokens)
+        so per-query accounting stays conservative; real backend calls
+        are recorded by the backend itself. Defaults to the backend's
+        own ``tracker`` attribute when it has one.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`. When set, every
+        ``complete`` call runs inside an ``llm_request`` span carrying
+        model, token, dollar and retry attributes.
+    registry:
+        :class:`~repro.observability.MetricsRegistry` to publish
+        reliability counters into (default: the process registry).
     """
 
     def __init__(
@@ -275,6 +292,9 @@ class ReliableLLM(LLMClient):
         clock: Callable[[], float] = time.monotonic,
         jitter_seed: int = 0,
         batch_pool_workers: int = 16,
+        tracker: Optional[CostTracker] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if batch_pool_workers < 1:
             raise ValueError("batch_pool_workers must be >= 1")
@@ -309,6 +329,25 @@ class ReliableLLM(LLMClient):
         self.cache_evictions = 0
         self.timeouts = 0
         self.budget_exhaustions = 0
+        self.tracker = tracker if tracker is not None else getattr(
+            backend, "tracker", None
+        )
+        self.tracer = tracer
+        self.registry = registry if registry is not None else get_registry()
+        reg = self.registry
+        self._m_requests = reg.counter("llm.requests")
+        self._m_retries = reg.counter("llm.retries")
+        self._m_cache_hits = reg.counter("llm.cache_hits")
+        self._m_cache_misses = reg.counter("llm.cache_misses")
+        self._m_cache_evictions = reg.counter("llm.cache_evictions")
+        self._m_timeouts = reg.counter("llm.timeouts")
+        self._m_budget_exhaustions = reg.counter("llm.budget_exhaustions")
+        self._m_circuit_rejections = reg.counter("llm.circuit_rejections")
+        self._m_input_tokens = reg.counter("llm.input_tokens")
+        self._m_output_tokens = reg.counter("llm.output_tokens")
+        self._m_cost_usd = reg.counter("llm.cost_usd")
+        self._m_saved_usd = reg.counter("llm.saved_usd")
+        self._m_latency = reg.histogram("llm.virtual_latency_s")
 
     def metrics(self) -> Dict[str, int]:
         """Reliability counters (retries, cache traffic, breaker state)."""
@@ -335,6 +374,21 @@ class ReliableLLM(LLMClient):
         temperature: float = 0.0,
     ) -> LLMResponse:
         """Generate a completion for the prompt (see LLMClient)."""
+        if self.tracer is None:
+            return self._complete(prompt, model, max_output_tokens, temperature, None)
+        with self.tracer.span(
+            f"llm:{model}", kind="llm_request", model=model
+        ) as span:
+            return self._complete(prompt, model, max_output_tokens, temperature, span)
+
+    def _complete(
+        self,
+        prompt: str,
+        model: str,
+        max_output_tokens: Optional[int],
+        temperature: float,
+        span: Optional[Span],
+    ) -> LLMResponse:
         key = (model, prompt, max_output_tokens)
         cacheable = self.cache_enabled and temperature == 0.0
         if cacheable:
@@ -348,18 +402,31 @@ class ReliableLLM(LLMClient):
                 else:
                     self.cache_misses += 1
             if hit is not None:
-                return LLMResponse(
+                self._m_cache_hits.inc()
+                replay = LLMResponse(
                     text=hit.text,
                     model=hit.model,
                     usage=hit.usage,
                     latency_s=0.0,
                     cached=True,
                 )
+                # A cache hit is still a request the query paid tokens
+                # for: record it (at zero simulated dollars) so per-query
+                # accounting is conservative and savings are reportable.
+                if self.tracker is not None:
+                    self.tracker.record(
+                        replay.model, replay.usage, 0.0, cached=True
+                    )
+                self._account(span, replay, retries=0)
+                return replay
+            self._m_cache_misses.inc()
 
         last_error: Optional[Exception] = None
+        retries_used = 0
         for attempt in range(self.max_retries + 1):
             self.rate_limiter.acquire()
             if self.circuit_breaker is not None and not self.circuit_breaker.allow():
+                self._m_circuit_rejections.inc()
                 raise CircuitOpenError(
                     "circuit breaker is open; request rejected without retry"
                 ) from last_error
@@ -376,11 +443,13 @@ class ReliableLLM(LLMClient):
                 last_error = exc
                 self._note_failure()
                 self._spend_retry(exc)
+                retries_used += 1
                 self._sleeper(max(exc.retry_after_s, self._backoff(attempt)))
             except TransientLLMError as exc:
                 last_error = exc
                 self._note_failure()
                 self._spend_retry(exc)
+                retries_used += 1
                 self._sleeper(self._backoff(attempt))
             else:
                 if self.circuit_breaker is not None:
@@ -399,7 +468,38 @@ class ReliableLLM(LLMClient):
                     self._cache.popitem(last=False)
                     with self._counter_lock:
                         self.cache_evictions += 1
+                    self._m_cache_evictions.inc()
+        self._account(span, response, retries=retries_used)
         return response
+
+    def _account(
+        self, span: Optional[Span], response: LLMResponse, retries: int
+    ) -> None:
+        """Publish one served response into the registry (and its span)."""
+        usage = response.usage
+        try:
+            spec = get_model_spec(response.model)
+            full_cost = spec.cost_usd(usage.input_tokens, usage.output_tokens)
+        except Exception:  # unknown model: no price card
+            full_cost = 0.0
+        cost = 0.0 if response.cached else full_cost
+        saved = full_cost if response.cached else 0.0
+        self._m_requests.inc()
+        self._m_input_tokens.inc(usage.input_tokens)
+        self._m_output_tokens.inc(usage.output_tokens)
+        self._m_cost_usd.inc(cost)
+        if saved:
+            self._m_saved_usd.inc(saved)
+        self._m_latency.observe(response.latency_s)
+        if span is not None:
+            span.set_attributes(
+                input_tokens=usage.input_tokens,
+                output_tokens=usage.output_tokens,
+                cost_usd=cost,
+                saved_usd=saved,
+                cached=response.cached,
+                retries=retries,
+            )
 
     def complete_json(
         self,
@@ -472,7 +572,15 @@ class ReliableLLM(LLMClient):
         if parallelism <= 1 or len(unique) == 1:
             unique_results = [one(prompt) for prompt in unique]
         else:
-            unique_results = list(self._batch_pool().map(one, unique))
+            # Carry the caller's contextvars (the ambient trace span)
+            # into the pool — one Context copy per task, because a single
+            # Context cannot be entered concurrently.
+            pool = self._batch_pool()
+            futures = [
+                pool.submit(contextvars.copy_context().run, one, prompt)
+                for prompt in unique
+            ]
+            unique_results = [future.result() for future in futures]
         return [unique_results[slot_of[prompt]] for prompt in prompts]
 
     def _batch_pool(self) -> ThreadPoolExecutor:
@@ -511,6 +619,7 @@ class ReliableLLM(LLMClient):
         if elapsed > self.request_timeout_s:
             with self._counter_lock:
                 self.timeouts += 1
+            self._m_timeouts.inc()
             raise LLMTimeoutError(
                 f"request took {elapsed:.3f}s (deadline {self.request_timeout_s}s)",
                 timeout_s=self.request_timeout_s,
@@ -528,10 +637,12 @@ class ReliableLLM(LLMClient):
                 and self.retries_performed >= self.retry_budget
             ):
                 self.budget_exhaustions += 1
+                self._m_budget_exhaustions.inc()
                 raise TransientLLMError(
                     f"retry budget of {self.retry_budget} exhausted"
                 ) from cause
             self.retries_performed += 1
+        self._m_retries.inc()
 
     def _drop_cached(self, model: str, prompt: str, max_output_tokens: Optional[int]) -> None:
         with self._cache_lock:

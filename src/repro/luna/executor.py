@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from ..docmodel.document import Document
 from ..execution.plan import Plan
+from ..observability.cost import CostAccount
 from ..runtime import Priority
 from ..sycamore import aggregates
 from ..sycamore.context import SycamoreContext
@@ -84,6 +85,13 @@ class ExecutionTrace:
     #: True when any record or operator was lost along the way — the
     #: answer is computed from an incomplete document stream.
     partial: bool = False
+    #: Id of the query's span tree in the context tracer (empty when the
+    #: query ran untraced); feed it to ``Tracer.trace_spans`` or the
+    #: ``python -m repro trace`` command.
+    trace_id: str = ""
+    #: Span-derived per-operator cost rollup (tokens, dollars, retries,
+    #: cache/dedup savings). Same arithmetic as the JSON trace export.
+    cost: Optional[CostAccount] = None
 
     def render(self) -> str:
         """Render a human-readable text view."""
@@ -150,6 +158,7 @@ class LunaExecutor:
         """
         plan.validate()
         fatal = self.error_policy == "fail"
+        tracer = getattr(self.context, "tracer", None)
         results: Dict[int, Any] = {}
         trace = ExecutionTrace()
         for index, node in enumerate(plan.nodes):
@@ -158,10 +167,32 @@ class LunaExecutor:
             start = time.perf_counter()
             self._last_plan_stats = None
             error: Optional[str] = None
+            op_span = None
+            if tracer is not None:
+                # op[i] names are unique per plan node, so two operators
+                # with the same operation roll up separately in the
+                # CostAccount.
+                op_span = tracer.start_span(
+                    f"op[{index}]:{node.operation}",
+                    kind="operator",
+                    operation=node.operation,
+                    description=node.description,
+                )
+                trace.trace_id = trace.trace_id or op_span.trace_id
             try:
-                output = self._run_node(node, inputs, results)
+                if op_span is not None:
+                    with tracer.attach(op_span):
+                        output = self._run_node(node, inputs, results)
+                else:
+                    output = self._run_node(node, inputs, results)
             except (PlanValidationError, mathops.MathEvaluationError) as exc:
                 if fatal:
+                    if op_span is not None:
+                        tracer.finish(
+                            op_span,
+                            status="error",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     raise PlanExecutionError(
                         f"node {index} ({node.operation}): {exc}"
                     ) from exc
@@ -169,11 +200,27 @@ class LunaExecutor:
                 output = inputs[0] if inputs else []
             except Exception as exc:  # noqa: BLE001 - contain under non-fatal policy
                 if fatal:
+                    if op_span is not None:
+                        tracer.finish(
+                            op_span,
+                            status="error",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     raise
                 error = f"{type(exc).__name__}: {exc}"
                 output = inputs[0] if inputs else []
             duration = time.perf_counter() - start
             after = self.context.cost_tracker.summary()
+            if op_span is not None:
+                op_span.set_attributes(
+                    records_in=_count_records(inputs[0]) if inputs else 0,
+                    records_out=_count_records(output),
+                )
+                tracer.finish(
+                    op_span,
+                    status="error" if error is not None else "ok",
+                    error=error,
+                )
             results[index] = output
             dead_lettered, skipped = self._drain_plan_stats()
             if error is not None:

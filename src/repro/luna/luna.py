@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..observability.cost import CostAccount
 from ..sycamore.context import SycamoreContext
 from .codegen import generate_code
 from .executor import ExecutionTrace, LunaExecutor
@@ -60,6 +61,10 @@ class LunaResult:
             f"Total LLM calls: {self.trace.total_llm_calls()}  "
             f"cost: ${self.trace.total_cost_usd():.4f}",
         ]
+        if self.trace.cost is not None and self.trace.cost.operators:
+            parts += ["", "Cost account (from trace spans):", self.trace.cost.render()]
+        if self.trace.trace_id:
+            parts.append(f"Trace id: {self.trace.trace_id}")
         if self.partial:
             parts.append(
                 "WARNING: partial answer — "
@@ -138,7 +143,14 @@ class Luna:
         """Start an inspect-before-run session (human-in-the-loop)."""
         named_index = self.context.catalog.get(index)
         secondary = [self.context.catalog.get(name) for name in secondary_indexes]
-        plan = self.planner.plan(question, named_index, secondary=secondary)
+        tracer = getattr(self.context, "tracer", None)
+        if tracer is not None:
+            # Planning is traced separately from execution: a session may
+            # sit between plan and run (human inspection) for minutes.
+            with tracer.span("plan:luna", kind="plan", question=question):
+                plan = self.planner.plan(question, named_index, secondary=secondary)
+        else:
+            plan = self.planner.plan(question, named_index, secondary=secondary)
         return LunaSession(
             luna=self, question=question, index=index, plan=plan
         )
@@ -174,11 +186,47 @@ class Luna:
         return self.execute_plan(question, index, plan)
 
     def execute_plan(self, question: str, index: str, plan: LogicalPlan) -> LunaResult:
-        """Optimize and execute an explicit plan (bypassing the planner)."""
+        """Optimize and execute an explicit plan (bypassing the planner).
+
+        With a traced context, the whole execution becomes one span tree
+        rooted at a ``query`` span (each query is its own trace), and the
+        resulting :class:`ExecutionTrace` carries the ``trace_id`` and a
+        span-derived :class:`~repro.observability.CostAccount`.
+        """
         named_index = self.context.catalog.get(index)
-        optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
-        code = generate_code(optimized)
-        answer, trace = self.executor.execute(optimized)
+        tracer = getattr(self.context, "tracer", None)
+        if tracer is None:
+            optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
+            code = generate_code(optimized)
+            answer, trace = self.executor.execute(optimized)
+        else:
+            query_span = tracer.start_span(
+                "query:luna",
+                kind="query",
+                parent=None,
+                question=question,
+                index=index,
+            )
+            try:
+                with tracer.attach(query_span):
+                    with tracer.span("plan:optimize", kind="plan"):
+                        optimized, log = self.optimizer.optimize(
+                            plan, schema=named_index.schema
+                        )
+                        code = generate_code(optimized)
+                    answer, trace = self.executor.execute(optimized)
+            except BaseException as exc:
+                tracer.finish(
+                    query_span,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            tracer.finish(query_span)
+            trace.trace_id = query_span.trace_id
+            trace.cost = CostAccount.from_spans(
+                tracer.trace_spans(query_span.trace_id)
+            )
         result = LunaResult(
             question=question,
             index=index,

@@ -1,0 +1,233 @@
+"""Per-query cost accounting rolled up from trace spans.
+
+ZenDB and ScaleDoc both report per-operator cost/accuracy accounting as
+the basis for optimization decisions; Luna's optimizer needs the same
+ledger. A :class:`CostAccount` is computed from one query's span tree:
+every ``llm_request`` span is attributed to its nearest ``operator`` (or
+``plan``) ancestor, and its token/dollar attributes are accumulated.
+
+Accounting is **conservative**: cache hits and dedup-shared requests
+count their tokens (the prompt was still constructed and the answer
+still consumed) at **zero simulated dollars** — so cache/dedup savings
+are directly reportable as ``saved_usd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .tracing import Span
+
+
+@dataclass
+class OperatorCost:
+    """Cost rollup for one plan operator (or pseudo-operator)."""
+
+    operator: str
+    llm_calls: int = 0
+    cached_calls: int = 0
+    dedup_hits: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
+    cost_usd: float = 0.0
+    #: Dollars *not* spent because the response came from the cache or a
+    #: dedup-shared in-flight call.
+    saved_usd: float = 0.0
+    retries: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        """Input plus output tokens."""
+        return self.input_tokens + self.output_tokens
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict view (stable keys)."""
+        return {
+            "operator": self.operator,
+            "llm_calls": self.llm_calls,
+            "cached_calls": self.cached_calls,
+            "dedup_hits": self.dedup_hits,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+            "cost_usd": round(self.cost_usd, 6),
+            "saved_usd": round(self.saved_usd, 6),
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+@dataclass
+class CostAccount:
+    """One query's complete cost ledger, keyed by operator."""
+
+    trace_id: str = ""
+    operators: Dict[str, OperatorCost] = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def llm_calls(self) -> int:
+        """LLM requests issued by the query (incl. cached/deduped)."""
+        return sum(op.llm_calls for op in self.operators.values())
+
+    @property
+    def cached_calls(self) -> int:
+        """Requests served from the response cache."""
+        return sum(op.cached_calls for op in self.operators.values())
+
+    @property
+    def dedup_hits(self) -> int:
+        """Requests that shared another request's in-flight upstream call."""
+        return sum(op.dedup_hits for op in self.operators.values())
+
+    @property
+    def input_tokens(self) -> int:
+        """Prompt tokens across all requests."""
+        return sum(op.input_tokens for op in self.operators.values())
+
+    @property
+    def output_tokens(self) -> int:
+        """Completion tokens across all requests."""
+        return sum(op.output_tokens for op in self.operators.values())
+
+    @property
+    def total_tokens(self) -> int:
+        """Input plus output tokens."""
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def cost_usd(self) -> float:
+        """Simulated dollars actually spent."""
+        return sum(op.cost_usd for op in self.operators.values())
+
+    @property
+    def saved_usd(self) -> float:
+        """Simulated dollars avoided via cache hits and dedup."""
+        return sum(op.saved_usd for op in self.operators.values())
+
+    @property
+    def retries(self) -> int:
+        """Transient-failure retries burned by the query's requests."""
+        return sum(op.retries for op in self.operators.values())
+
+    def operator(self, name: str) -> OperatorCost:
+        """Rollup record for one operator (created on first access)."""
+        record = self.operators.get(name)
+        if record is None:
+            record = OperatorCost(operator=name)
+            self.operators[name] = record
+        return record
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-exportable view (totals plus per-operator table)."""
+        return {
+            "trace_id": self.trace_id,
+            "totals": {
+                "llm_calls": self.llm_calls,
+                "cached_calls": self.cached_calls,
+                "dedup_hits": self.dedup_hits,
+                "input_tokens": self.input_tokens,
+                "output_tokens": self.output_tokens,
+                "cost_usd": round(self.cost_usd, 6),
+                "saved_usd": round(self.saved_usd, 6),
+                "retries": self.retries,
+                "wall_clock_s": round(self.wall_clock_s, 6),
+            },
+            "operators": [
+                self.operators[name].as_dict() for name in sorted(self.operators)
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-operator cost table."""
+        header = (
+            f"{'operator':<28} {'calls':>5} {'cached':>6} {'dedup':>5} "
+            f"{'tokens':>8} {'cost':>9} {'saved':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.operators):
+            op = self.operators[name]
+            lines.append(
+                f"{name:<28} {op.llm_calls:>5} {op.cached_calls:>6} "
+                f"{op.dedup_hits:>5} {op.total_tokens:>8} "
+                f"${op.cost_usd:>8.4f} ${op.saved_usd:>8.4f}"
+            )
+        lines.append(
+            f"{'TOTAL':<28} {self.llm_calls:>5} {self.cached_calls:>6} "
+            f"{self.dedup_hits:>5} {self.total_tokens:>8} "
+            f"${self.cost_usd:>8.4f} ${self.saved_usd:>8.4f}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spans(cls, spans: List[Span]) -> "CostAccount":
+        """Roll one trace's spans up into an account.
+
+        Each ``llm_request`` span is attributed to its nearest ancestor
+        of kind ``operator`` (falling back to ``plan``, then to the
+        pseudo-operator ``(query)``).
+        """
+        account = cls()
+        by_id: Dict[str, Span] = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.parent_id is None and not account.trace_id:
+                account.trace_id = span.trace_id
+                account.wall_clock_s = span.duration_s
+            if span.kind in ("operator", "transform"):
+                owner = _owning_operator(span, by_id)
+                # A transform nested under a Luna operator is already
+                # covered by the operator's wall time; only self-owned
+                # spans contribute theirs.
+                if owner == _operator_name(span):
+                    account.operator(owner).wall_s += span.duration_s
+            if span.kind != "llm_request":
+                continue
+            owner = _owning_operator(span, by_id)
+            record = account.operator(owner)
+            attrs = span.attributes
+            record.llm_calls += 1
+            record.input_tokens += int(attrs.get("input_tokens", 0) or 0)
+            record.output_tokens += int(attrs.get("output_tokens", 0) or 0)
+            record.cost_usd += float(attrs.get("cost_usd", 0.0) or 0.0)
+            record.saved_usd += float(attrs.get("saved_usd", 0.0) or 0.0)
+            record.retries += int(attrs.get("retries", 0) or 0)
+            if attrs.get("cached"):
+                record.cached_calls += 1
+            if attrs.get("dedup"):
+                record.dedup_hits += 1
+        return account
+
+
+def _operator_name(span: Span) -> str:
+    # The span name (e.g. ``op[2]:LlmFilter``) is unique per plan node,
+    # so two filters in one plan roll up separately.
+    return span.name
+
+
+def _owning_operator(span: Span, by_id: Dict[str, Span]) -> str:
+    """Walk ancestors to the nearest owning span's name.
+
+    Preference order: nearest ``operator`` (Luna plan node), else nearest
+    ``transform`` (DocSet dataflow node), else the enclosing ``plan``,
+    else the pseudo-operator ``(query)``.
+    """
+    transform: Optional[str] = None
+    plan: Optional[str] = None
+    seen = set()
+    current: Optional[Span] = span
+    while current is not None and current.span_id not in seen:
+        seen.add(current.span_id)
+        if current.kind == "operator":
+            return _operator_name(current)
+        if current.kind == "transform" and transform is None:
+            transform = current.name
+        if current.kind == "plan" and plan is None:
+            plan = current.name
+        parent_id = current.parent_id
+        current = by_id.get(parent_id) if parent_id else None
+    return transform or plan or "(query)"

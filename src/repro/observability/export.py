@@ -1,0 +1,135 @@
+"""Trace exporters: JSON files and the human-readable span tree.
+
+Two consumers, two formats. Machines get a stable JSON document
+(``trace_to_dict`` / ``write_trace_json``) with every span plus the
+query's :class:`~repro.observability.cost.CostAccount`; humans get an
+indented tree (``render_trace_tree``) where each LLM request line shows
+its tokens, dollars, cache/dedup provenance and scheduler-batch link —
+the "show what each operator did and what it cost" view the paper's
+explainability tenet asks for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .cost import CostAccount
+from .tracing import Span
+
+#: Schema version stamped into every JSON export.
+TRACE_EXPORT_VERSION = 1
+
+
+def trace_to_dict(
+    spans: List[Span], cost: Optional[CostAccount] = None
+) -> Dict[str, Any]:
+    """A JSON-serializable document for one trace."""
+    if cost is None:
+        cost = CostAccount.from_spans(spans)
+    return {
+        "version": TRACE_EXPORT_VERSION,
+        "trace_id": cost.trace_id or (spans[0].trace_id if spans else ""),
+        "spans": [span.to_dict() for span in spans],
+        "cost": cost.as_dict(),
+    }
+
+
+def write_trace_json(
+    path: "str | Path", spans: List[Span], cost: Optional[CostAccount] = None
+) -> Path:
+    """Write the trace document to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(trace_to_dict(spans, cost), indent=2, default=str),
+        encoding="utf-8",
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Human-readable tree
+# ----------------------------------------------------------------------
+
+
+def render_trace_tree(spans: List[Span], max_spans: int = 400) -> str:
+    """Render one trace's spans as an indented tree.
+
+    Children are ordered by span id (creation order). Past ``max_spans``
+    lines the tree is truncated with a summary line, so a 10k-record ETL
+    trace cannot flood a terminal.
+    """
+    if not spans:
+        return "(empty trace)"
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.span_id)
+
+    lines: List[str] = []
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if len(lines) >= max_spans:
+            return
+        if is_root:
+            lines.append(_describe(span))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + _describe(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(span.span_id, [])
+        for position, child in enumerate(kids):
+            walk(child, child_prefix, position == len(kids) - 1, False)
+
+    roots = children.get(None, [])
+    for position, root in enumerate(roots):
+        walk(root, "", position == len(roots) - 1, True)
+    total = len(spans)
+    if len(lines) >= max_spans and total > max_spans:
+        lines.append(f"... ({total - max_spans} more spans truncated)")
+    return "\n".join(lines)
+
+
+def _describe(span: Span) -> str:
+    """One line for one span, formatted by kind."""
+    attrs = span.attributes
+    timing = f"{span.duration_s:.3f}s" if span.finished else "open"
+    if span.kind == "llm_request":
+        tokens = (
+            f"{attrs.get('input_tokens', 0)}→{attrs.get('output_tokens', 0)} tok"
+        )
+        cost = f"${float(attrs.get('cost_usd', 0.0) or 0.0):.4f}"
+        parts = [f"{span.name} [{span.span_id}]", tokens, cost]
+        if attrs.get("cached"):
+            parts.append("cached")
+        if attrs.get("dedup"):
+            parts.append(f"dedup:{attrs['dedup']}")
+        if attrs.get("batch_span"):
+            parts.append(f"batch={attrs['batch_span']}")
+        if attrs.get("retries"):
+            parts.append(f"retries={attrs['retries']}")
+        line = " ".join(parts)
+    elif span.kind == "batch":
+        line = (
+            f"{span.name} [{span.span_id}] size={attrs.get('size', '?')} "
+            f"({timing})"
+        )
+    elif span.kind in ("operator", "transform"):
+        extra = ""
+        if "records_in" in attrs or "records_out" in attrs:
+            extra = f" in={attrs.get('records_in', 0)} out={attrs.get('records_out', 0)}"
+        line = f"{span.name} ({timing}){extra}"
+    elif span.kind == "query":
+        question = attrs.get("question")
+        suffix = f" {question!r}" if question else ""
+        line = f"{span.name}{suffix} ({timing})"
+    else:
+        line = f"{span.name} ({timing})"
+    if span.status == "error":
+        line += f" [ERROR: {span.error}]"
+    return line

@@ -1,0 +1,262 @@
+"""Hierarchical query tracing with cross-thread span propagation.
+
+A :class:`Tracer` produces :class:`Span`\\ s with stable, sequential ids
+(``s000001``) grouped into traces (``t0001``). The hierarchy for a Luna
+query is::
+
+    query                         (root — one per query)
+    ├── plan                      (LLM planning)
+    ├── optimize / codegen
+    └── op[i]:<Operation>         (one per plan node)
+        └── transform:<node>      (one per record, executor task)
+            └── llm:<model>       (one per LLM request)
+
+Span-propagation rules (the invariants instrumented code relies on):
+
+* The *current* span lives in a :mod:`contextvars` ``ContextVar`` shared
+  by every tracer in the process; ``start_span`` parents new spans to it
+  unless an explicit parent is given.
+* Crossing a thread pool requires carrying the submitter's context:
+  the execution engine and ``ReliableLLM.complete_many`` submit tasks
+  via ``contextvars.copy_context().run`` so a worker thread sees the
+  submitting thread's current span (one Context copy per task — a
+  single Context object cannot be entered concurrently).
+* The scheduler's dispatch thread has no caller context by design: a
+  batch serves requests from *many* queries. Request spans are created
+  at submit time (under the submitter's context) and *linked* to the
+  batch span via the ``batch_span`` attribute instead of being
+  reparented; the batch span lives in its own trace.
+* Spans are recorded at start (open spans are visible in snapshots) and
+  immutable-by-convention after :meth:`Tracer.finish`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: The ambient span, shared process-wide so parent discovery works across
+#: component boundaries regardless of which Tracer instance records.
+_CURRENT_SPAN: "ContextVar[Optional[Span]]" = ContextVar(
+    "repro_current_span", default=None
+)
+
+#: Sentinel meaning "parent from the ambient context var".
+_AMBIENT = object()
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace."""
+
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str]
+    name: str
+    kind: str
+    start_s: float
+    end_s: Optional[float] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`Tracer.finish` has been called on this span."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Merge attributes into the span."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-exportable view of the span."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": round(self.start_s, 6),
+            "end_s": round(self.end_s, 6) if self.end_s is not None else None,
+            "duration_s": round(self.duration_s, 6),
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Creates, records and snapshots spans.
+
+    Thread-safe. Ids are sequential under a lock, so a single-threaded
+    run is fully deterministic and a concurrent run is stable enough to
+    diff. ``max_spans`` bounds memory: past it, new spans are still
+    created and returned (instrumented code never branches) but are not
+    retained; ``dropped_spans`` counts them.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        max_spans: int = 200_000,
+    ):
+        self._clock = clock
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: Dict[str, Span] = {}
+        self._traces: Dict[str, List[str]] = {}
+        self._span_counter = 0
+        self._trace_counter = 0
+        self.dropped_spans = 0
+
+    # ------------------------------------------------------------------
+    # Creation / completion
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def current() -> Optional[Span]:
+        """The ambient span of the calling context (or None)."""
+        return _CURRENT_SPAN.get()
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: "Span | None | object" = _AMBIENT,
+        **attributes: Any,
+    ) -> Span:
+        """Create (and record) a new span.
+
+        ``parent`` defaults to the ambient span; pass ``None`` to force a
+        new root (which starts a new trace).
+        """
+        if parent is _AMBIENT:
+            parent = _CURRENT_SPAN.get()
+        now = self._clock()
+        with self._lock:
+            self._span_counter += 1
+            span_id = f"s{self._span_counter:06d}"
+            if parent is not None:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                self._trace_counter += 1
+                trace_id = f"t{self._trace_counter:04d}"
+                parent_id = None
+            span = Span(
+                span_id=span_id,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                name=name,
+                kind=kind,
+                start_s=now,
+                attributes=dict(attributes),
+            )
+            if len(self._spans) >= self.max_spans:
+                self.dropped_spans += 1
+            else:
+                self._spans[span_id] = span
+                self._traces.setdefault(trace_id, []).append(span_id)
+        return span
+
+    def finish(
+        self, span: Span, status: str = "ok", error: Optional[str] = None
+    ) -> Span:
+        """Close the span (idempotent — the first finish wins)."""
+        if span.end_s is None:
+            span.end_s = self._clock()
+            span.status = status
+            span.error = error
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: "Span | None | object" = _AMBIENT,
+        **attributes: Any,
+    ) -> Iterator[Span]:
+        """Context manager: start a span, make it ambient, finish on exit.
+
+        An escaping exception marks the span ``error`` and re-raises.
+        """
+        span = self.start_span(name, kind=kind, parent=parent, **attributes)
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            self.finish(span, status="error", error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            self.finish(span)
+        finally:
+            _CURRENT_SPAN.reset(token)
+
+    @contextmanager
+    def attach(self, span: Optional[Span]) -> Iterator[Optional[Span]]:
+        """Make an existing span ambient without owning its lifetime.
+
+        Used to re-establish a parent inside a worker thread or to nest
+        work under the scheduler's batch span.
+        """
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield span
+        finally:
+            _CURRENT_SPAN.reset(token)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def get(self, span_id: str) -> Optional[Span]:
+        """The retained span with this id, if any."""
+        with self._lock:
+            return self._spans.get(span_id)
+
+    def spans(self) -> List[Span]:
+        """Every retained span, in creation order."""
+        with self._lock:
+            return [self._spans[sid] for sid in sorted(self._spans)]
+
+    def trace_ids(self) -> List[str]:
+        """All trace ids, in creation order."""
+        with self._lock:
+            return sorted(self._traces)
+
+    def trace_spans(self, trace_id: str) -> List[Span]:
+        """The spans of one trace, in creation order."""
+        with self._lock:
+            return [self._spans[sid] for sid in self._traces.get(trace_id, [])]
+
+    def last_trace(self, kind: Optional[str] = None) -> Optional[str]:
+        """The most recent trace id (optionally: whose root has ``kind``)."""
+        with self._lock:
+            for trace_id in sorted(self._traces, reverse=True):
+                if kind is None:
+                    return trace_id
+                root_id = self._traces[trace_id][0]
+                if self._spans[root_id].kind == kind:
+                    return trace_id
+        return None
+
+    def reset(self) -> None:
+        """Drop every retained span and trace (counters keep advancing,
+        so ids stay unique across the tracer's lifetime)."""
+        with self._lock:
+            self._spans.clear()
+            self._traces.clear()
+            self.dropped_spans = 0

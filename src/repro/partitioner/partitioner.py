@@ -15,10 +15,12 @@ with no structure, no table semantics, and no OCR.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..docmodel.bbox import BoundingBox, reading_order
+from ..observability.metrics import get_registry
 from ..docmodel.document import Document, Node
 from ..docmodel.elements import Element, ImageElement, TableElement, make_element
 from ..docmodel.raw import RawBox, RawDocument, RawPage
@@ -63,6 +65,7 @@ class ArynPartitioner:
 
     def partition(self, source: "RawDocument | Document") -> Document:
         """Partition a raw document (or a Document holding raw binary)."""
+        start = time.perf_counter()
         raw, base = self._coerce(source)
         elements: List[Element] = []
         for page_number, page in enumerate(raw.pages):
@@ -75,6 +78,13 @@ class ArynPartitioner:
         if self.merge_tables:
             elements = self._merge_cross_page_tables(elements)
         root = build_section_tree(elements)
+        registry = get_registry()
+        registry.counter("partitioner.documents").inc()
+        registry.counter("partitioner.pages").inc(raw.num_pages())
+        registry.counter("partitioner.elements").inc(len(elements))
+        registry.histogram("partitioner.partition_s").observe(
+            time.perf_counter() - start
+        )
         document = base if base is not None else Document()
         document.doc_id = raw.doc_id
         document.binary = None

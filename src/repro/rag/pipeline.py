@@ -21,6 +21,8 @@ from ..llm.errors import ContextWindowExceededError
 from ..llm.prompts import ANSWER_QUESTION, split_into_chunks
 from ..llm.tokens import count_tokens
 from ..llm.base import get_model_spec
+from ..observability.metrics import get_registry
+from ..observability.tracing import Tracer
 from ..runtime import Priority, RequestScheduler, ScheduledLLM
 
 RetrievalMode = Literal["vector", "keyword", "hybrid"]
@@ -129,12 +131,40 @@ class RagPipeline:
             return self.index.search_keyword(question, k=k)
         return self.index.search_hybrid(question, k=k)
 
-    def answer(self, question: str) -> RagAnswer:
-        """Retrieve context and generate a grounded answer."""
-        chunks = self.retrieve(question)
+    def answer(self, question: str, tracer: Optional[Tracer] = None) -> RagAnswer:
+        """Retrieve context and generate a grounded answer.
+
+        ``tracer`` (or the scheduler's tracer, when one is bound) makes
+        the answer a ``query`` span tree: retrieval and generation become
+        child spans, so RAG runs are comparable with Luna traces.
+        """
+        if tracer is None and self.scheduler is not None:
+            tracer = self.scheduler.tracer
+        if tracer is None:
+            return self._answer(question)
+        with tracer.span(
+            "query:rag", kind="query", parent=None, question=question
+        ):
+            return self._answer(question, tracer)
+
+    def _answer(self, question: str, tracer: Optional[Tracer] = None) -> RagAnswer:
+        registry = get_registry()
+        registry.counter("rag.questions").inc()
+        if tracer is not None:
+            with tracer.span("rag:retrieve", kind="operator", top_k=self.top_k):
+                chunks = self.retrieve(question)
+        else:
+            chunks = self.retrieve(question)
         context, used, truncated = self._pack_context(question, chunks)
+        if truncated:
+            registry.counter("rag.context_truncations").inc()
         prompt = ANSWER_QUESTION.render(question=question, context=context)
-        response = self._generator.complete(prompt, model=self.model)
+        if tracer is not None:
+            with tracer.span("rag:generate", kind="operator"):
+                response = self._generator.complete(prompt, model=self.model)
+        else:
+            response = self._generator.complete(prompt, model=self.model)
+        registry.histogram("rag.context_tokens").observe(count_tokens(context))
         return RagAnswer(
             question=question,
             answer=response.text,

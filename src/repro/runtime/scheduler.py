@@ -43,7 +43,9 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from ..llm.base import LLMClient, LLMResponse
+from ..llm.base import LLMClient, LLMResponse, get_model_spec
+from ..observability.metrics import MetricsRegistry, get_registry
+from ..observability.tracing import Span, Tracer
 
 
 class SchedulerError(RuntimeError):
@@ -103,6 +105,9 @@ class LLMRequest:
     #: Dedup key, or None when the request is not dedupable/batchable
     #: (non-zero temperature).
     key: Optional[DedupKey] = None
+    #: Trace span opened at submission (under the submitter's context)
+    #: and finished when the future resolves; None when untraced.
+    span: Optional[Span] = None
 
     @property
     def batchable(self) -> bool:
@@ -205,6 +210,16 @@ class RequestScheduler:
         Whether identical in-flight requests share one upstream call.
     clock:
         Injectable monotonic clock (tests).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`. Request spans are
+        created at submit time under the submitter's ambient span; each
+        dispatched batch gets its own ``batch`` span (a separate trace —
+        one batch serves many queries) and member request spans link to
+        it via the ``batch_span`` attribute.
+    registry:
+        :class:`~repro.observability.MetricsRegistry` the scheduler
+        publishes counters/histograms into (default: process registry).
+        :meth:`stats` remains the per-instance compatibility shim.
     """
 
     def __init__(
@@ -217,6 +232,8 @@ class RequestScheduler:
         starvation_limit: int = 4,
         dedup: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -236,6 +253,23 @@ class RequestScheduler:
         self.starvation_limit = starvation_limit
         self.dedup = dedup
         self._clock = clock
+        self.tracer = tracer
+        self.registry = registry if registry is not None else get_registry()
+        reg = self.registry
+        self._m_submitted = reg.counter("scheduler.submitted")
+        self._m_admitted = reg.counter("scheduler.admitted")
+        self._m_rejected = reg.counter("scheduler.rejected")
+        self._m_dedup_hits = reg.counter("scheduler.dedup_hits")
+        self._m_completed = reg.counter("scheduler.completed")
+        self._m_failed = reg.counter("scheduler.failed")
+        self._m_cancelled = reg.counter("scheduler.cancelled")
+        self._m_batches = reg.counter("scheduler.batches_dispatched")
+        self._m_starvation = reg.counter("scheduler.starvation_promotions")
+        self._m_batch_size = reg.histogram("scheduler.batch_size")
+        self._m_wait_ms = reg.histogram("scheduler.wait_ms")
+        self._m_service_ms = reg.histogram("scheduler.service_ms")
+        self._g_depth_interactive = reg.gauge("scheduler.queue_depth_interactive")
+        self._g_depth_bulk = reg.gauge("scheduler.queue_depth_bulk")
         self._cond = threading.Condition()
         self._queues: Dict[Priority, Deque[LLMRequest]] = {
             Priority.INTERACTIVE: deque(),
@@ -279,21 +313,48 @@ class RequestScheduler:
             if self._closed:
                 raise SchedulerClosedError("scheduler is closed")
             self._stats.submitted += 1
+            self._m_submitted.inc()
             key: Optional[DedupKey] = None
             if self.dedup and temperature == 0.0:
                 key = (model, prompt, max_output_tokens)
                 shared = self._inflight.get(key)
                 if shared is not None:
                     self._stats.dedup_hits += 1
+                    self._m_dedup_hits.inc()
+                    if self.tracer is not None:
+                        # The waiter gets its own span (attributed to ITS
+                        # query), finished when the shared call resolves:
+                        # full tokens, zero dollars, savings reported.
+                        span = self.tracer.start_span(
+                            f"llm:{model}",
+                            kind="llm_request",
+                            model=model,
+                            priority=priority.name.lower(),
+                            dedup="inflight",
+                        )
+                        shared.add_done_callback(
+                            lambda f, s=span: self._finish_request_span(
+                                s, f, charge=False
+                            )
+                        )
                     return shared
             queue = self._queues[priority]
             if len(queue) >= self.max_queue_depth:
                 self._stats.rejected += 1
+                self._m_rejected.inc()
                 raise SchedulerSaturatedError(
                     f"{priority.name.lower()} queue is full "
                     f"({self.max_queue_depth} requests)"
                 )
             future: "Future[LLMResponse]" = Future()
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start_span(
+                    f"llm:{model}",
+                    kind="llm_request",
+                    model=model,
+                    priority=priority.name.lower(),
+                )
             request = LLMRequest(
                 prompt=prompt,
                 model=model,
@@ -303,16 +364,67 @@ class RequestScheduler:
                 future=future,
                 enqueued_at=self._clock(),
                 key=key,
+                span=span,
             )
             if key is not None:
                 self._inflight[key] = future
             queue.append(request)
             self._stats.admitted += 1
+            self._m_admitted.inc()
             depth = sum(len(q) for q in self._queues.values())
             if depth > self._stats.peak_queue_depth:
                 self._stats.peak_queue_depth = depth
+            self._g_depth_interactive.set(len(self._queues[Priority.INTERACTIVE]))
+            self._g_depth_bulk.set(len(self._queues[Priority.BULK]))
             self._cond.notify_all()
             return future
+
+    def _finish_request_span(
+        self,
+        span: Span,
+        resolved: "Future[LLMResponse] | LLMResponse | BaseException",
+        charge: bool,
+        batch_span_id: Optional[str] = None,
+        dedup: Optional[str] = None,
+    ) -> None:
+        """Close one request span from its outcome.
+
+        ``charge=False`` (dedup waiters, within-batch duplicates) counts
+        tokens at zero dollars and reports the avoided spend as
+        ``saved_usd`` — the conservative-accounting invariant.
+        """
+        assert self.tracer is not None
+        result: "LLMResponse | BaseException"
+        if isinstance(resolved, Future):
+            exc = resolved.exception()
+            result = exc if exc is not None else resolved.result()
+        else:
+            result = resolved
+        if batch_span_id is not None:
+            span.set_attributes(batch_span=batch_span_id)
+        if dedup is not None:
+            span.set_attributes(dedup=dedup)
+        if isinstance(result, BaseException):
+            self.tracer.finish(
+                span, status="error", error=f"{type(result).__name__}: {result}"
+            )
+            return
+        usage = result.usage
+        try:
+            full_cost = get_model_spec(result.model).cost_usd(
+                usage.input_tokens, usage.output_tokens
+            )
+        except Exception:  # unknown model: no price card
+            full_cost = 0.0
+        charged = full_cost if charge and not result.cached else 0.0
+        span.set_attributes(
+            input_tokens=usage.input_tokens,
+            output_tokens=usage.output_tokens,
+            cost_usd=charged,
+            saved_usd=full_cost - charged,
+            cached=result.cached,
+        )
+        self.tracer.finish(span)
 
     def complete(
         self,
@@ -384,8 +496,15 @@ class RequestScheduler:
                     if request.key is not None:
                         self._inflight.pop(request.key, None)
                     self._stats.cancelled += 1
+                    self._m_cancelled.inc()
             self._cond.notify_all()
         for request in cancelled:
+            if self.tracer is not None and request.span is not None:
+                self.tracer.finish(
+                    request.span,
+                    status="error",
+                    error="SchedulerClosedError: scheduler closed before dispatch",
+                )
             request.future.set_exception(
                 SchedulerClosedError("scheduler closed before dispatch")
             )
@@ -440,6 +559,7 @@ class RequestScheduler:
         if self._consecutive_interactive >= self.starvation_limit:
             self._consecutive_interactive = 0
             self._stats.starvation_promotions += 1
+            self._m_starvation.inc()
             return Priority.BULK
         return Priority.INTERACTIVE
 
@@ -490,32 +610,79 @@ class RequestScheduler:
 
     def _dispatch(self, batch: List[LLMRequest]) -> None:
         started = self._clock()
+        batch_span: Optional[Span] = None
+        if self.tracer is not None:
+            head = batch[0]
+            # A batch is its own trace root: its members may belong to
+            # many different query traces, so they link to it by the
+            # ``batch_span`` attribute rather than by parentage.
+            batch_span = self.tracer.start_span(
+                f"batch:{head.model}",
+                kind="batch",
+                parent=None,
+                model=head.model,
+                size=len(batch),
+                priority=head.priority.name.lower(),
+            )
         try:
             client = self.client
             if client is None:
                 results: List[Any] = [
                     SchedulerError("scheduler has no client bound")
                 ] * len(batch)
+            elif batch_span is not None:
+                with self.tracer.attach(batch_span):
+                    results = self._call_client(client, batch)
             else:
                 results = self._call_client(client, batch)
         except BaseException as exc:  # noqa: BLE001 - whole-batch failure
             results = [exc] * len(batch)
         finished = self._clock()
+        if self.tracer is not None and batch_span is not None:
+            failures = sum(1 for r in results if isinstance(r, BaseException))
+            batch_span.set_attributes(failed=failures)
+            self.tracer.finish(
+                batch_span,
+                status="error" if failures == len(batch) else "ok",
+            )
+            seen_in_batch: set = set()
+            for request, result in zip(batch, results):
+                if request.span is None:
+                    continue
+                identity = (request.model, request.prompt, request.max_output_tokens)
+                duplicate = identity in seen_in_batch
+                seen_in_batch.add(identity)
+                self._finish_request_span(
+                    request.span,
+                    result,
+                    charge=not duplicate,
+                    batch_span_id=batch_span.span_id,
+                    dedup="batch" if duplicate else None,
+                )
         with self._cond:
             self._stats.batches_dispatched += 1
+            self._m_batches.inc()
             size = len(batch)
             self._stats.batch_size_histogram[size] = (
                 self._stats.batch_size_histogram.get(size, 0) + 1
             )
+            self._m_batch_size.observe(float(size))
             self._stats.total_service_s += finished - started
+            self._m_service_ms.observe((finished - started) * 1000.0)
             for request, result in zip(batch, results):
-                self._stats.total_wait_s += started - request.enqueued_at
+                wait_s = started - request.enqueued_at
+                self._stats.total_wait_s += wait_s
+                self._m_wait_ms.observe(wait_s * 1000.0)
                 if request.key is not None:
                     self._inflight.pop(request.key, None)
                 if isinstance(result, BaseException):
                     self._stats.failed += 1
+                    self._m_failed.inc()
                 else:
                     self._stats.completed += 1
+                    self._m_completed.inc()
+            self._g_depth_interactive.set(len(self._queues[Priority.INTERACTIVE]))
+            self._g_depth_bulk.set(len(self._queues[Priority.BULK]))
             self._cond.notify_all()
         self._dispatch_slots.release()
         for request, result in zip(batch, results):
@@ -527,6 +694,7 @@ class RequestScheduler:
             except BaseException:  # caller cancelled the future while queued
                 with self._cond:
                     self._stats.cancelled += 1
+                    self._m_cancelled.inc()
 
     def _call_client(self, client: LLMClient, batch: List[LLMRequest]) -> List[Any]:
         head = batch[0]
@@ -575,5 +743,12 @@ class RequestScheduler:
                 if request.key is not None:
                     self._inflight.pop(request.key, None)
                 self._stats.cancelled += 1
+                self._m_cancelled.inc()
         for request in batch:
+            if self.tracer is not None and request.span is not None:
+                self.tracer.finish(
+                    request.span,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             request.future.set_exception(exc)

@@ -24,6 +24,8 @@ from ..llm.base import LLMClient
 from ..llm.client import ReliableLLM
 from ..llm.cost import CostTracker
 from ..llm.simulated import SimulatedLLM
+from ..observability.metrics import MetricsRegistry, get_registry
+from ..observability.tracing import Tracer
 from ..runtime import Priority, RequestScheduler, ScheduledLLM
 
 if TYPE_CHECKING:
@@ -43,6 +45,13 @@ class SycamoreContext:
     in-flight dedup, priority admission). A scheduler constructed without
     a client is bound to this context's reliability-wrapped LLM, so the
     dispatch path keeps retries, the circuit breaker and the cache.
+
+    Each context owns a :class:`~repro.observability.Tracer` (``tracer``
+    injects one) so query traces from concurrent contexts stay separate;
+    metrics go to the shared process :class:`MetricsRegistry` unless
+    ``registry`` overrides it. The tracer is threaded into the LLM
+    reliability layer, the scheduler (when the context binds it) and
+    every executor the context creates.
     """
 
     def __init__(
@@ -56,16 +65,29 @@ class SycamoreContext:
         seed: int = 0,
         on_error: str = "retry",
         scheduler: Optional[RequestScheduler] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.cost_tracker = CostTracker()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.registry = registry if registry is not None else get_registry()
         if llm is None:
-            llm = ReliableLLM(SimulatedLLM(seed=seed, tracker=self.cost_tracker))
+            llm = ReliableLLM(
+                SimulatedLLM(seed=seed, tracker=self.cost_tracker),
+                tracer=self.tracer,
+                registry=self.registry,
+            )
         elif not isinstance(llm, ReliableLLM):
-            llm = ReliableLLM(llm)
+            llm = ReliableLLM(llm, tracer=self.tracer, registry=self.registry)
+        else:
+            if llm.tracer is None:
+                llm.tracer = self.tracer
         self.llm: ReliableLLM = llm
         self.scheduler = scheduler
         if scheduler is not None and scheduler.client is None:
             scheduler.client = self.llm
+            if scheduler.tracer is None:
+                scheduler.tracer = self.tracer
         self._scheduled_clients: dict = {}
         self.embedder: Embedder = embedder or HashingEmbedder(seed=seed)
         self.catalog = catalog or IndexCatalog(embedder=self.embedder)
@@ -109,6 +131,8 @@ class SycamoreContext:
             lineage=self.lineage,
             on_error=on_error or self.on_error,
             scheduler=self.scheduler,
+            tracer=self.tracer,
+            registry=self.registry,
         )
 
 
