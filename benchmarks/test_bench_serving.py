@@ -1,0 +1,108 @@
+"""E13 — query serving: warm concurrent service vs cold sequential loop.
+
+The serving layer's claim (ISSUE 4 / ROADMAP "production-scale serving")
+is that a shared :class:`repro.serving.QueryService` turns repeated and
+concurrent question traffic into cache hits and coalesced single-flight
+work, so warm serving throughput beats a cold ``Luna.query()`` loop by a
+wide margin *without* the LLM response cache helping (it is disabled in
+both modes — the serving caches are the only reuse being measured).
+
+Three phases (see :mod:`repro.serving.bench`):
+
+* **sequential_cold** — one blocking ``Luna.query`` per request;
+* **served_warm** — the same request mix submitted concurrently;
+* **overload** — a one-worker, depth-2 service flooded with 12 distinct
+  questions: some are shed with typed ``Overloaded``, every admitted
+  query completes, and the drain finishes.
+
+Results land in ``BENCH_serving.json`` at the repo root (uploaded as a
+CI artifact). Gate: warm serving must clear 3x cold-sequential
+throughput, and cache savings must be visible in per-tenant ledgers.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import print_table
+from repro.serving.bench import run_serving_benchmark
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+N_DOCS = 24
+REPEATS = 3
+TENANTS = 2
+WORKERS = 4
+LATENCY_SCALE = 0.01
+
+
+def test_bench_serving(benchmark):
+    results = benchmark.pedantic(
+        run_serving_benchmark,
+        kwargs=dict(
+            n_docs=N_DOCS,
+            repeats=REPEATS,
+            tenants=TENANTS,
+            workers=WORKERS,
+            latency_scale=LATENCY_SCALE,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    modes = results["modes"]
+    rows = []
+    for name, row in modes.items():
+        rows.append(
+            [
+                name,
+                f"{row['elapsed_s']:.3f}s",
+                f"{row['qps']:.1f}",
+                f"{row.get('speedup_vs_sequential', 1.0):.2f}x",
+                row.get("plans_computed", "-"),
+                row.get("executions", "-"),
+                f"${row.get('saved_usd', 0):.4f}",
+            ]
+        )
+    print_table(
+        "E13: query serving (warm concurrent service vs cold sequential loop)",
+        ["mode", "elapsed", "qps", "speedup", "plans", "execs", "saved"],
+        rows,
+    )
+    over = results["overload"]
+    print(
+        f"\noverload: {over['submitted']} submitted -> {over['admitted']} admitted, "
+        f"{over['rejected']} shed (typed), {over['completed']} completed, "
+        f"drained={over['drained']}"
+    )
+    for tenant, totals in results["tenants"].items():
+        print(
+            f"tenant {tenant}: spent ${totals['cost_usd']:.4f} "
+            f"saved ${totals['saved_usd']:.4f}"
+        )
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    warm = modes["served_warm"]
+    n_requests = results["workload"]["requests"]
+    distinct = results["workload"]["distinct_questions"]
+
+    # The gates the issue specifies.
+    assert results["answers_agree"], "served answers diverged from plain Luna"
+    assert warm["speedup_vs_sequential"] >= 3.0
+    # Single-flight: each distinct question planned and executed once,
+    # despite repeats * tenants copies of it being submitted.
+    assert warm["plans_computed"] == distinct
+    assert warm["executions"] == distinct
+    assert warm["result_cache"]["hits"] + warm["result_cache"]["coalesced"] == (
+        n_requests - distinct
+    )
+    # Cache reuse is visible as saved_usd in every tenant's ledger.
+    assert warm["saved_usd"] > 0
+    for totals in results["tenants"].values():
+        assert totals["saved_usd"] > 0
+    # Overload sheds typed and never deadlocks; admitted work completes.
+    assert over["rejected"] > 0
+    assert over["completed"] == over["admitted"]
+    assert over["drained"]

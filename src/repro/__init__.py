@@ -14,6 +14,8 @@ Layered like the paper's architecture (Figure 1):
   (micro-batching, in-flight dedup, priority admission control).
 * :mod:`repro.observability` — query tracing, the process metrics
   registry, and per-query cost accounting (see docs/ARCHITECTURE.md).
+* :mod:`repro.serving` — the concurrent query-serving layer: admission
+  control, tenants/sessions, single-flight plan/result caching.
 * :mod:`repro.rag` — the retrieval-augmented-generation baseline.
 * :mod:`repro.datagen`, :mod:`repro.evaluation` — synthetic corpora and
   the benchmark harnesses.
@@ -50,6 +52,7 @@ from .observability import (
 from .partitioner import ArynPartitioner, NaiveTextPartitioner
 from .rag import RagPipeline
 from .runtime import Priority, RequestScheduler
+from .serving import QueryService, ServiceConfig
 from .sycamore import DocSet, SycamoreContext
 
 __version__ = "0.1.0"
@@ -65,8 +68,10 @@ __all__ = [
     "MetricsRegistry",
     "NaiveTextPartitioner",
     "Priority",
+    "QueryService",
     "RagPipeline",
     "RequestScheduler",
+    "ServiceConfig",
     "Span",
     "SycamoreContext",
     "Table",

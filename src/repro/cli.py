@@ -33,6 +33,18 @@ Commands
 ``metrics``
     Run the ETL build and a Luna query, then print the process-wide
     metrics registry (``--prefix`` filters, e.g. ``--prefix llm.``).
+``serve``
+    Stand up a :class:`repro.serving.QueryService` over a freshly-built
+    corpus and serve questions through it — concurrently, with
+    single-flight plan/result caching, per-tenant cost ledgers and
+    admission control. ``--once`` runs a canned demonstration (repeated
+    questions submitted concurrently, so the cache and coalescing
+    behaviour is visible) and exits; otherwise questions are read from
+    the command line or stdin.
+``bench-serve``
+    Run the serving benchmark (warm concurrent service vs cold
+    sequential ``Luna.query`` loop, plus an overload/shedding phase) and
+    optionally write ``BENCH_serving.json``.
 
 All commands are offline and deterministic for a given ``--seed``.
 """
@@ -238,6 +250,12 @@ def _cmd_runtime_stats(args: argparse.Namespace) -> int:
     )
     query_admitted = scheduler.metrics()["admitted"] - after_etl["admitted"]
     print(f"query (INTERACTIVE) traffic: {query_admitted} requests")
+    versions = ", ".join(
+        f"{name}@{version}" for name, version in sorted(ctx.catalog.versions().items())
+    )
+    print(
+        f"catalog version: {ctx.catalog.version()} ({versions or 'no indexes'})"
+    )
     _print_scheduler_stats(scheduler)
     print("\nmetrics registry (full):")
     _print_registry()
@@ -280,6 +298,96 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"\nmetrics registry{f' (prefix {prefix!r})' if prefix else ''}:")
     _print_registry(prefix)
     scheduler.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import Overloaded, QueryService, ServiceConfig
+
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_queue_depth=args.service_queue_depth,
+        policy=args.policy,
+    )
+    default_question = "How many incidents were caused by wind?"
+    if args.once:
+        # The canned demo: the same question submitted concurrently (one
+        # plan, one execution, N answers), then a rephrasing (result-cache
+        # hit) and a distinct question (a genuine miss).
+        questions = [default_question] * 3 + [
+            "how many incidents were caused by wind",
+            "How many incidents had fatal injuries?",
+        ]
+    elif args.questions:
+        questions = list(args.questions)
+    else:
+        questions = [line.strip() for line in sys.stdin if line.strip()]
+        if not questions:
+            questions = [default_question]
+    with QueryService(ctx, config) as service:
+        session = service.open_session(tenant=args.tenant, index=args.dataset)
+        tickets = []
+        for question in questions:
+            try:
+                tickets.append(service.submit(question, session=session))
+            except Overloaded as exc:
+                print(f"  shed ({exc.reason}): {question}")
+        for ticket in tickets:
+            served = ticket.result(timeout=300)
+            print(
+                f"[{served.query_id}] {served.question}\n"
+                f"  answer: {served.answer}\n"
+                f"  plan cache: {served.plan_cache}  "
+                f"result cache: {served.result_cache}  "
+                f"spent ${served.cost_usd:.4f}  saved ${served.saved_usd:.4f}  "
+                f"{served.latency_s * 1000:.0f}ms"
+            )
+        print()
+        print(session.render())
+        stats = service.stats()
+        print(
+            f"\nservice: {stats['completed']} completed, "
+            f"{stats['rejected']} shed, "
+            f"{stats['plans_computed']} plans computed, "
+            f"{stats['executions']} executions, "
+            f"plan cache {stats['plan_cache']['hit_rate']:.0%} hit, "
+            f"result cache {stats['result_cache']['hit_rate']:.0%} hit"
+        )
+        ledger = service.tenant_account(args.tenant)
+        print(
+            f"tenant {args.tenant!r}: spent ${ledger.cost_usd:.4f}, "
+            f"saved ${ledger.saved_usd:.4f} via serving caches"
+        )
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .serving.bench import render_results, run_serving_benchmark
+
+    print(
+        f"serving benchmark: {args.docs} docs, {args.repeats} repeats, "
+        f"{args.tenants} tenants, {args.workers} workers "
+        f"(latency scale {args.latency_scale})..."
+    )
+    results = run_serving_benchmark(
+        n_docs=args.docs,
+        repeats=args.repeats,
+        tenants=args.tenants,
+        workers=args.workers,
+        latency_scale=args.latency_scale,
+        seed=args.seed,
+    )
+    print()
+    print(render_results(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"\nresults written to {args.json}")
     return 0
 
 
@@ -451,6 +559,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="only print metrics whose name starts with this (e.g. llm.)",
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve questions through the concurrent QueryService",
+    )
+    common(serve)
+    serve.add_argument(
+        "questions",
+        nargs="*",
+        help="questions to serve (default: read stdin, or --once demo)",
+    )
+    serve.add_argument("--dataset", choices=("ntsb", "earnings"), default="ntsb")
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="run the canned cache/coalescing demonstration and exit",
+    )
+    serve.add_argument("--tenant", default="cli", help="tenant to serve as")
+    serve.add_argument("--workers", type=int, default=4, help="service worker threads")
+    serve.add_argument(
+        "--service-queue-depth",
+        type=int,
+        default=32,
+        help="admission bound (past it, submissions are shed)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="benchmark warm concurrent serving vs a cold sequential loop",
+    )
+    bench_serve.add_argument("--seed", type=int, default=13)
+    bench_serve.add_argument("--docs", type=int, default=24, help="corpus size")
+    bench_serve.add_argument(
+        "--repeats", type=int, default=3, help="times each question is asked"
+    )
+    bench_serve.add_argument("--tenants", type=int, default=2)
+    bench_serve.add_argument("--workers", type=int, default=4)
+    bench_serve.add_argument(
+        "--latency-scale",
+        type=float,
+        default=0.01,
+        help="fraction of virtual LLM latency really slept",
+    )
+    bench_serve.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the results JSON (e.g. BENCH_serving.json)",
+    )
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
 
     partition = sub.add_parser(
         "partition", help="show the partitioner's output for one report"

@@ -11,7 +11,7 @@ from .executor import (
     TaskError,
 )
 from .lineage import Lineage, LineageEdge
-from .materialize import DiskCache, MemoryCache
+from .materialize import DiskCache, MemoryCache, plan_fingerprint, stable_fingerprint
 from .plan import Plan, PlanNode
 
 __all__ = [
@@ -27,4 +27,6 @@ __all__ = [
     "Plan",
     "PlanNode",
     "TaskError",
+    "plan_fingerprint",
+    "stable_fingerprint",
 ]

@@ -71,6 +71,10 @@ class NamedIndex:
     graph: GraphStore = field(default_factory=GraphStore)
     schema: Dict[str, str] = field(default_factory=dict)
     description: str = ""
+    #: Monotonically increasing corpus version, bumped on every mutation
+    #: (document ingest). Serving-layer result caches key on it, so a
+    #: version bump is the invalidation signal for cached answers.
+    version: int = 0
 
     def __post_init__(self) -> None:
         if self.vector is None:
@@ -86,6 +90,7 @@ class NamedIndex:
         self.keyword.add(document.doc_id, text)
         if embed:
             self.vector.add(document.doc_id, self.embedder.embed(text))
+        self.version += 1
 
     def add_documents(self, documents: List[Document], embed: bool = True) -> None:
         """Store and index several documents, then refresh the schema."""
@@ -143,6 +148,7 @@ class NamedIndex:
                     "name": self.name,
                     "description": self.description,
                     "schema": self.schema,
+                    "version": self.version,
                 }
             )
         )
@@ -161,6 +167,7 @@ class NamedIndex:
             graph=GraphStore.load(directory / "graph.json"),
             schema=dict(meta.get("schema", {})),
             description=meta.get("description", ""),
+            version=int(meta.get("version", 0)),
         )
         return index
 
@@ -174,11 +181,32 @@ class NamedIndex:
 
 
 class IndexCatalog:
-    """Registry of named indexes shared by Sycamore writers and Luna."""
+    """Registry of named indexes shared by Sycamore writers and Luna.
+
+    The catalog carries a monotonically increasing :meth:`version`
+    covering every mutation under it — index creation, deletion, and
+    document ingest into any member index. Serving-layer caches use it
+    (and the per-index ``version``) as their invalidation signal.
+    """
 
     def __init__(self, embedder: Optional[Embedder] = None):
         self.embedder = embedder or HashingEmbedder()
         self._indexes: Dict[str, NamedIndex] = {}
+        #: Mutations not captured by live index versions (create/drop/load,
+        #: plus the final versions of dropped indexes so the total never
+        #: goes backwards).
+        self._retired_versions = 0
+
+    def version(self) -> int:
+        """Monotonic catalog version: bumps on create/drop/load and on
+        every document ingested into any member index."""
+        return self._retired_versions + sum(
+            index.version for index in self._indexes.values()
+        )
+
+    def versions(self) -> Dict[str, int]:
+        """Per-index corpus versions (for status displays)."""
+        return {name: self._indexes[name].version for name in sorted(self._indexes)}
 
     def create(self, name: str, description: str = "", exist_ok: bool = False) -> NamedIndex:
         """Create (or with exist_ok, fetch) a named index."""
@@ -188,6 +216,7 @@ class IndexCatalog:
             raise ValueError(f"index {name!r} already exists")
         index = NamedIndex(name=name, embedder=self.embedder, description=description)
         self._indexes[name] = index
+        self._retired_versions += 1
         return index
 
     def get(self, name: str) -> NamedIndex:
@@ -208,7 +237,13 @@ class IndexCatalog:
 
     def drop(self, name: str) -> bool:
         """Remove an index; returns False when absent."""
-        return self._indexes.pop(name, None) is not None
+        dropped = self._indexes.pop(name, None)
+        if dropped is None:
+            return False
+        # Fold the dropped index's version into the retired tally so the
+        # catalog version stays monotonic across drop + recreate.
+        self._retired_versions += dropped.version + 1
+        return True
 
     def save(self, directory: Path) -> None:
         """Persist every index to ``directory/<name>/``."""
@@ -223,6 +258,10 @@ class IndexCatalog:
         for child in sorted(directory.iterdir()):
             if (child / "meta.json").exists():
                 index = NamedIndex.load(child, embedder=self.embedder)
+                replaced = self._indexes.get(index.name)
+                if replaced is not None:
+                    self._retired_versions += replaced.version
                 self._indexes[index.name] = index
+                self._retired_versions += 1
                 loaded.append(index.name)
         return loaded

@@ -200,10 +200,12 @@ class Luna:
             code = generate_code(optimized)
             answer, trace = self.executor.execute(optimized)
         else:
+            # Ambient-parented: standalone queries root their own trace
+            # (the historical behaviour); queries run under the serving
+            # layer nest beneath its per-request ``serve`` root span.
             query_span = tracer.start_span(
                 "query:luna",
                 kind="query",
-                parent=None,
                 question=question,
                 index=index,
             )
@@ -227,6 +229,10 @@ class Luna:
             trace.cost = CostAccount.from_spans(
                 tracer.trace_spans(query_span.trace_id)
             )
+            # When nested under a still-open serving span, the trace root
+            # has no duration yet; the query span's own wall time is the
+            # honest figure either way.
+            trace.cost.wall_clock_s = query_span.duration_s
         result = LunaResult(
             question=question,
             index=index,

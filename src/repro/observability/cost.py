@@ -121,6 +121,32 @@ class CostAccount:
             self.operators[name] = record
         return record
 
+    def merge(self, other: "CostAccount") -> "CostAccount":
+        """Accumulate another account's rollups into this one.
+
+        The serving layer keeps one long-lived account per tenant and
+        merges every served query's account into it, so operator names
+        aggregate across queries (all ``op[0]:Count`` spend lands in one
+        row). Returns self for chaining.
+        """
+        for name, op in other.operators.items():
+            record = self.operator(name)
+            record.llm_calls += op.llm_calls
+            record.cached_calls += op.cached_calls
+            record.dedup_hits += op.dedup_hits
+            record.input_tokens += op.input_tokens
+            record.output_tokens += op.output_tokens
+            record.cost_usd += op.cost_usd
+            record.saved_usd += op.saved_usd
+            record.retries += op.retries
+            record.wall_s += op.wall_s
+        self.wall_clock_s += other.wall_clock_s
+        return self
+
+    def record_saving(self, operator: str, saved_usd: float) -> None:
+        """Book dollars *not* spent (a serving-cache hit) to an operator."""
+        self.operator(operator).saved_usd += saved_usd
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-exportable view (totals plus per-operator table)."""
         return {

@@ -1,0 +1,54 @@
+"""repro.serving — concurrent query serving over a shared context.
+
+The interactive front half of the system: many users ask natural-language
+questions against shared indexes, and the service amortizes LLM work
+across them (single-flight plan and result caches), bounds load (typed
+admission control with per-tenant quotas), and accounts every simulated
+dollar spent or saved to the tenant that caused it. See
+:mod:`repro.serving.service` for the full design narrative.
+"""
+
+from .cache import (
+    COALESCED,
+    HIT,
+    MISS,
+    SingleFlightCache,
+    index_fingerprint,
+    normalize_question,
+    plan_cache_key,
+    result_cache_key,
+)
+from .service import (
+    Overloaded,
+    QueryEvent,
+    QueryService,
+    QueryTicket,
+    ServedResult,
+    ServiceClosed,
+    ServiceConfig,
+    ServingError,
+)
+from .session import Session, SessionEntry, Tenant, TenantQuota
+
+__all__ = [
+    "COALESCED",
+    "HIT",
+    "MISS",
+    "Overloaded",
+    "QueryEvent",
+    "QueryService",
+    "QueryTicket",
+    "ServedResult",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServingError",
+    "Session",
+    "SessionEntry",
+    "SingleFlightCache",
+    "Tenant",
+    "TenantQuota",
+    "index_fingerprint",
+    "normalize_question",
+    "plan_cache_key",
+    "result_cache_key",
+]

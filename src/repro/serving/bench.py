@@ -1,0 +1,239 @@
+"""The serving-layer experiment: warm concurrent serving vs cold loops.
+
+One callable, :func:`run_serving_benchmark`, builds two identical NTSB
+contexts (deterministic simulated backend, response cache OFF so the
+serving caches are the only reuse mechanism being measured) and runs the
+same question mix two ways:
+
+* **sequential_cold** — a plain ``Luna.query()`` loop, one query at a
+  time, no serving layer: every repeat replans and re-executes.
+* **served_warm** — the same requests submitted concurrently to a
+  :class:`~repro.serving.service.QueryService`: repeats and concurrent
+  duplicates collapse onto single-flight plan/result caches while
+  distinct questions overlap on the worker pool.
+
+A third phase floods a deliberately tiny service (one worker, depth-2
+queue) to demonstrate load shedding: some submissions raise
+:class:`~repro.serving.service.Overloaded`, every admitted query still
+completes, and the drain finishes cleanly.
+
+The CLI (``python -m repro bench-serve``) and the pytest benchmark
+(``benchmarks/test_bench_serving.py``) are both thin wrappers over this
+module, so the numbers in ``BENCH_serving.json`` are reproducible from
+either entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from ..datagen import generate_ntsb_corpus
+from ..llm import ReliableLLM, SimulatedLLM
+from ..luna.luna import Luna
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Tracer
+from ..partitioner import ArynPartitioner
+from ..sycamore.context import SycamoreContext
+from .service import Overloaded, QueryService, ServiceConfig
+
+NTSB_SCHEMA = {
+    "state": "string",
+    "incident_year": "int",
+    "weather_related": "bool",
+    "injuries_fatal": "int",
+    "cause": "string",
+}
+
+#: The question mix; repeats of these are what the serving caches absorb.
+QUESTIONS = [
+    "How many incidents were caused by wind?",
+    "How many incidents were caused by icing?",
+    "How many incidents happened in 2023?",
+    "How many incidents had fatal injuries?",
+]
+
+
+def _build_context(
+    n_docs: int, seed: int, latency_scale: float, parallelism: int
+) -> SycamoreContext:
+    """A self-contained NTSB context: private registry/tracer, no LLM
+    response cache (the serving caches must do all the saving)."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    llm = ReliableLLM(
+        SimulatedLLM(seed=seed, real_latency_scale=latency_scale),
+        cache_enabled=False,
+        tracer=tracer,
+        registry=registry,
+    )
+    ctx = SycamoreContext(
+        llm=llm,
+        parallelism=parallelism,
+        seed=seed,
+        tracer=tracer,
+        registry=registry,
+    )
+    _, raws = generate_ntsb_corpus(n_docs, seed=seed)
+    (
+        ctx.read.raw(raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(NTSB_SCHEMA, model="sim-large")
+        .write.index("ntsb")
+    )
+    return ctx
+
+
+def _request_mix(
+    questions: List[str], repeats: int, tenants: int
+) -> List[Tuple[str, str]]:
+    """(tenant, question) pairs, interleaved so concurrent submissions of
+    the same question actually overlap (the single-flight case)."""
+    mix: List[Tuple[str, str]] = []
+    for repeat in range(repeats):
+        for i, question in enumerate(questions):
+            mix.append((f"tenant-{(i + repeat) % tenants}", question))
+    return mix
+
+
+def run_serving_benchmark(
+    n_docs: int = 24,
+    repeats: int = 3,
+    tenants: int = 2,
+    workers: int = 4,
+    latency_scale: float = 0.01,
+    seed: int = 13,
+    questions: "List[str] | None" = None,
+) -> Dict[str, Any]:
+    """Run all three phases; returns the JSON-ready results dict."""
+    questions = list(questions or QUESTIONS)
+    mix = _request_mix(questions, repeats, tenants)
+
+    # -- sequential cold: plain Luna loop, replans every time -----------
+    seq_ctx = _build_context(n_docs, seed, latency_scale, parallelism=workers)
+    luna = Luna(seq_ctx, planner_model="sim-large", policy="balanced",
+                error_policy="dead_letter")
+    started = time.perf_counter()
+    seq_answers = {q: luna.query(q, "ntsb").answer for _, q in mix}
+    seq_elapsed = time.perf_counter() - started
+
+    # -- served warm: same requests, concurrent, through the service ----
+    serve_ctx = _build_context(n_docs, seed, latency_scale, parallelism=workers)
+    config = ServiceConfig(
+        max_workers=workers,
+        max_queue_depth=max(len(mix), 8),
+        default_tenant_inflight=max(len(mix), 8),
+    )
+    service = QueryService(serve_ctx, config, registry=serve_ctx.registry)
+    started = time.perf_counter()
+    tickets = [service.submit(q, "ntsb", tenant=t) for t, q in mix]
+    served = [ticket.result(timeout=300) for ticket in tickets]
+    serve_elapsed = time.perf_counter() - started
+    stats = service.stats()
+    tenant_stats = {
+        name: service.tenant_account(name).as_dict()["totals"]
+        for name in sorted({t for t, _ in mix})
+    }
+    service.close()
+
+    serve_answers = {r.question: r.answer for r in served}
+    answers_agree = serve_answers == seq_answers
+
+    # -- overload: tiny service, flood, shed, drain ---------------------
+    overload = _run_overload_phase(serve_ctx, questions)
+
+    speedup = seq_elapsed / serve_elapsed if serve_elapsed > 0 else float("inf")
+    return {
+        "workload": {
+            "documents": n_docs,
+            "distinct_questions": len(questions),
+            "repeats": repeats,
+            "tenants": tenants,
+            "requests": len(mix),
+            "workers": workers,
+            "real_latency_scale": latency_scale,
+            "llm_response_cache": "disabled",
+        },
+        "modes": {
+            "sequential_cold": {
+                "elapsed_s": round(seq_elapsed, 4),
+                "queries": len(mix),
+                "qps": round(len(mix) / seq_elapsed, 2),
+            },
+            "served_warm": {
+                "elapsed_s": round(serve_elapsed, 4),
+                "queries": len(mix),
+                "qps": round(len(mix) / serve_elapsed, 2),
+                "speedup_vs_sequential": round(speedup, 2),
+                "plans_computed": stats["plans_computed"],
+                "executions": stats["executions"],
+                "plan_cache": stats["plan_cache"],
+                "result_cache": stats["result_cache"],
+                "saved_usd": stats["saved_usd"],
+            },
+        },
+        "answers_agree": answers_agree,
+        "tenants": tenant_stats,
+        "overload": overload,
+    }
+
+
+def _run_overload_phase(
+    ctx: SycamoreContext, questions: List[str]
+) -> Dict[str, Any]:
+    """Flood a one-worker, depth-2 service and show it sheds, completes
+    every admitted query, and drains."""
+    config = ServiceConfig(
+        max_workers=1, max_queue_depth=2, default_tenant_inflight=64
+    )
+    service = QueryService(ctx, config, registry=MetricsRegistry())
+    # Distinct questions (the suffix survives normalization), so every
+    # admitted query does real work and the queue genuinely fills.
+    flood = [
+        f"{questions[i % len(questions)]} (variant {i})" for i in range(12)
+    ]
+    tickets = []
+    rejected = 0
+    for question in flood:
+        try:
+            tickets.append(service.submit(question, "ntsb", tenant="flood"))
+        except Overloaded:
+            rejected += 1
+    drained = service.drain(timeout=300)
+    completed = sum(1 for t in tickets if t.done() and t.future.exception() is None)
+    service.close()
+    return {
+        "submitted": len(flood),
+        "admitted": len(tickets),
+        "rejected": rejected,
+        "completed": completed,
+        "drained": drained,
+    }
+
+
+def render_results(results: Dict[str, Any]) -> str:
+    """Human-readable summary table for CLI output."""
+    modes = results["modes"]
+    lines = [
+        f"{'mode':<18} {'elapsed':>9} {'qps':>7} {'speedup':>8} "
+        f"{'plans':>6} {'execs':>6}",
+    ]
+    lines.append("-" * len(lines[0]))
+    for name, row in modes.items():
+        lines.append(
+            f"{name:<18} {row['elapsed_s']:>8.3f}s {row['qps']:>7.2f} "
+            f"{row.get('speedup_vs_sequential', 1.0):>7.2f}x "
+            f"{row.get('plans_computed', '-'):>6} {row.get('executions', '-'):>6}"
+        )
+    over = results["overload"]
+    lines.append(
+        f"overload: {over['submitted']} submitted, {over['admitted']} admitted, "
+        f"{over['rejected']} shed, {over['completed']} completed, "
+        f"drained={over['drained']}"
+    )
+    for tenant, totals in results["tenants"].items():
+        lines.append(
+            f"tenant {tenant}: spent ${totals['cost_usd']:.4f}, "
+            f"saved ${totals['saved_usd']:.4f}"
+        )
+    return "\n".join(lines)

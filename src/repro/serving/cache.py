@@ -1,0 +1,183 @@
+"""Serving-layer caches: key construction and single-flight reuse.
+
+The serving layer amortizes LLM work across queries two ways:
+
+* a **plan cache** — normalized question + index *schema* fingerprint →
+  reusable logical plan. Plans depend only on the question and on what
+  the planner can see (the schema), so corpus growth that leaves the
+  schema unchanged keeps cached plans valid.
+* a **result cache** — the plan key *plus the corpus versions* of every
+  index the query reads → finished :class:`~repro.luna.luna.LunaResult`.
+  Any ingest bumps :attr:`NamedIndex.version <repro.indexes.catalog.NamedIndex.version>`
+  and therefore changes the key, so stale answers are never served.
+
+Both sit on :class:`SingleFlightCache`, which adds thundering-herd
+protection: when N identical queries arrive concurrently, one caller
+(the *leader*) computes while the rest block on the leader's future —
+one plan, one execution, N answers. Failures propagate to every waiter
+and are **not** cached, so a transient error doesn't poison the key.
+
+Keys fold through :func:`repro.execution.materialize.stable_fingerprint`,
+the same primitive that stamps disk-materialization sidecars — one
+fingerprint discipline for every cache in the system.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..execution.materialize import stable_fingerprint
+from ..indexes.catalog import NamedIndex
+
+#: Outcomes of :meth:`SingleFlightCache.get_or_compute`.
+HIT = "hit"  #: served from the cache, no work done
+COALESCED = "coalesced"  #: waited on another caller's in-flight compute
+MISS = "miss"  #: this caller computed (and cached) the value
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_question(question: str) -> str:
+    """Canonical form of a natural-language question for cache keying.
+
+    Case, surrounding whitespace, internal whitespace runs and trailing
+    sentence punctuation don't change what's being asked, so "How many
+    incidents?\\n" and "how many  incidents" share a cache entry.
+    """
+    return _WHITESPACE.sub(" ", question).strip().rstrip("?!. ").lower()
+
+
+def index_fingerprint(index: NamedIndex) -> str:
+    """Fingerprint of everything the *planner* sees about an index.
+
+    Name, description and the discovered schema — but **not** the corpus
+    version: plans stay valid across ingest unless the schema itself
+    moves.
+    """
+    return stable_fingerprint(
+        [index.name, index.description, sorted(index.schema.items())]
+    )
+
+
+def plan_cache_key(
+    question: str, index: NamedIndex, secondary: Sequence[NamedIndex] = ()
+) -> Tuple[Any, ...]:
+    """Cache key for a reusable logical plan."""
+    return (
+        normalize_question(question),
+        index.name,
+        index_fingerprint(index),
+        tuple((s.name, index_fingerprint(s)) for s in secondary),
+    )
+
+
+def result_cache_key(
+    question: str, index: NamedIndex, secondary: Sequence[NamedIndex] = ()
+) -> Tuple[Any, ...]:
+    """Cache key for a finished answer: the plan key plus corpus versions."""
+    return plan_cache_key(question, index, secondary) + (
+        index.version,
+        tuple(s.version for s in secondary),
+    )
+
+
+class SingleFlightCache:
+    """A bounded LRU cache with per-key in-flight coalescing.
+
+    :meth:`get_or_compute` returns ``(value, outcome)`` where outcome is
+    :data:`HIT`, :data:`COALESCED` or :data:`MISS`. Exactly one caller
+    per key runs ``compute`` at a time; concurrent callers for the same
+    key share the leader's future (including its exception — failures
+    are never cached). Thread-safe; ``compute`` runs *outside* the lock.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._inflight: Dict[Any, "Future[Any]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_compute(
+        self, key: Any, compute: Callable[[], Any]
+    ) -> Tuple[Any, str]:
+        """Return the cached value for ``key``, computing it at most once
+        across all concurrent callers."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key], HIT
+            future = self._inflight.get(key)
+            if future is None:
+                future = Future()
+                self._inflight[key] = future
+                leader = True
+            else:
+                self.coalesced += 1
+                leader = False
+        if not leader:
+            # Blocks until the leader resolves; re-raises its exception.
+            return future.result(), COALESCED
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key, None)
+        future.set_result(value)
+        return value, MISS
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """The cached value without recency update or compute (or None)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every cached entry (in-flight computes are unaffected)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for status displays and benchmarks."""
+        with self._lock:
+            lookups = self.hits + self.coalesced + self.misses
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "coalesced": self.coalesced,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(
+                    (self.hits + self.coalesced) / lookups, 4
+                )
+                if lookups
+                else 0.0,
+            }

@@ -1,0 +1,802 @@
+"""The concurrent query-serving front-end: admission, caching, progress.
+
+:class:`QueryService` admits many concurrent Luna queries over one shared
+:class:`~repro.sycamore.context.SycamoreContext` and its indexes — the
+interactive-service posture of the paper (§1: ad-hoc questions against
+shared corpora at interactive latency) scaled toward the ROADMAP's
+"heavy traffic" north star. The design in one paragraph:
+
+submissions pass **admission control** (a bounded queue plus per-tenant
+quotas; past either bound the service *sheds* with a typed
+:class:`Overloaded` instead of queueing unboundedly or deadlocking),
+then execute on a fixed worker pool. Each served query gets a root
+``serve`` span and contributes to its tenant's long-lived
+:class:`~repro.observability.CostAccount`. The **result cache** is
+consulted first (keyed on the normalized question *and* the corpus
+versions of every index read, so ingest invalidates it); on a miss the
+**plan cache** (keyed on the question and the index *schema*
+fingerprint, so ingest does *not* invalidate it) supplies or computes
+the logical plan, and the query executes through the ordinary Luna
+stack — planner and operators at INTERACTIVE priority on the shared
+request scheduler. Both caches are single-flight: N identical
+concurrent queries plan once and execute once, with the other N-1
+coalescing onto the leader's future. Cache hits are credited to the
+tenant's account as ``saved_usd`` (the conservative-accounting
+invariant of :mod:`repro.observability`). Shutdown **drains**: admitted
+queries complete, queued-but-unstarted ones fail typed under
+``drain=False``, and no future is ever lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..luna.luna import Luna, LunaResult
+from ..luna.operators import LogicalPlan
+from ..observability.cost import CostAccount
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Span, Tracer
+from ..sycamore.context import SycamoreContext
+from .cache import (
+    COALESCED,
+    HIT,
+    MISS,
+    SingleFlightCache,
+    plan_cache_key,
+    result_cache_key,
+)
+from .session import Session, SessionEntry, Tenant, TenantQuota
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class Overloaded(ServingError):
+    """Admission control shed this query: the service is at capacity.
+
+    ``reason`` is ``"queue_full"`` or ``"tenant_quota"``; callers should
+    back off and retry rather than treat this as a query failure.
+    """
+
+    def __init__(self, message: str, reason: str, **detail: Any):
+        super().__init__(message)
+        self.reason = reason
+        self.detail = detail
+
+
+class ServiceClosed(ServingError):
+    """The service is shut down (or shutting down without drain)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`QueryService`."""
+
+    #: Worker threads executing admitted queries.
+    max_workers: int = 4
+    #: Bounded submission queue; a full queue sheds with Overloaded.
+    max_queue_depth: int = 32
+    #: Default per-tenant inflight bound (override via set_quota).
+    default_tenant_inflight: int = 8
+    plan_cache_size: int = 256
+    result_cache_size: int = 512
+    #: Optimizer policy and failure containment for served queries. A
+    #: service defaults to graceful degradation: a flaky backend yields
+    #: partial answers, not 500s.
+    policy: str = "balanced"
+    error_policy: str = "dead_letter"
+    planner_model: str = "sim-large"
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.default_tenant_inflight < 1:
+            raise ValueError("default_tenant_inflight must be >= 1")
+
+
+@dataclass
+class QueryEvent:
+    """One progress event in a served query's lifecycle."""
+
+    stage: str
+    at: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Stages after which a ticket emits no further events.
+TERMINAL_STAGES = frozenset({"completed", "failed", "cancelled"})
+
+
+@dataclass
+class ServedResult:
+    """What the service hands back for one query: the Luna result plus
+    serving provenance (cache outcomes, spend, savings, latency)."""
+
+    query_id: str
+    question: str
+    index: str
+    tenant: str
+    session_id: Optional[str]
+    result: LunaResult
+    #: "hit" | "coalesced" | "miss" | "bypass" (follow-ups bypass caches).
+    plan_cache: str
+    result_cache: str
+    #: New simulated dollars this query actually spent (0 for cache hits
+    #: and coalesced waiters — the leader is charged).
+    cost_usd: float
+    #: Dollars avoided via serving-cache reuse, credited to the tenant.
+    saved_usd: float
+    latency_s: float
+    serve_trace_id: str = ""
+
+    @property
+    def answer(self) -> Any:
+        """The query's answer (convenience passthrough)."""
+        return self.result.answer
+
+    @property
+    def partial(self) -> bool:
+        """Whether failure containment degraded the answer."""
+        return self.result.partial
+
+
+class QueryTicket:
+    """Handle for one admitted query: a future plus a progress stream."""
+
+    def __init__(
+        self,
+        query_id: str,
+        question: str,
+        index: str,
+        tenant: str,
+        session: Optional[Session],
+        secondary: Tuple[str, ...],
+        follow_up: bool,
+    ):
+        self.query_id = query_id
+        self.question = question
+        self.index = index
+        self.tenant = tenant
+        self.session = session
+        self.secondary = secondary
+        self.follow_up = follow_up
+        self.submitted_at = time.monotonic()
+        from concurrent.futures import Future
+
+        self.future: "Future[ServedResult]" = Future()
+        self._cond = threading.Condition()
+        self._events: List[QueryEvent] = []
+
+    @property
+    def session_id(self) -> Optional[str]:
+        """The owning session's id, if the query runs inside one."""
+        return self.session.session_id if self.session is not None else None
+
+    def _emit(self, stage: str, **detail: Any) -> None:
+        event = QueryEvent(stage=stage, at=time.monotonic(), detail=detail)
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def result(self, timeout: Optional[float] = None) -> ServedResult:
+        """Block for the served result (raises the query's failure)."""
+        return self.future.result(timeout=timeout)
+
+    def done(self) -> bool:
+        """Whether the query has reached a terminal state."""
+        return self.future.done()
+
+    def events(self) -> List[QueryEvent]:
+        """Snapshot of progress events so far."""
+        with self._cond:
+            return list(self._events)
+
+    def stream(self, timeout: Optional[float] = None):
+        """Yield progress events as they occur, ending after a terminal
+        stage (or when ``timeout`` elapses with no new event)."""
+        consumed = 0
+        while True:
+            with self._cond:
+                while consumed >= len(self._events):
+                    if not self._cond.wait(timeout=timeout):
+                        return
+                fresh = self._events[consumed:]
+                consumed = len(self._events)
+            for event in fresh:
+                yield event
+                if event.stage in TERMINAL_STAGES:
+                    return
+
+
+@dataclass
+class _PlanEntry:
+    """A cached plan: serialized (so every execution gets a private copy
+    — sessions may edit plan nodes in place) plus what planning cost."""
+
+    plan_json: str
+    cost_usd: float
+    llm_calls: int
+    plan_trace_id: str = ""
+
+    def hydrate(self) -> LogicalPlan:
+        plan = LogicalPlan.from_json(self.plan_json)
+        plan.validate()
+        return plan
+
+
+class QueryService:
+    """Concurrent Luna query serving over one shared context.
+
+    Usage::
+
+        service = QueryService(ctx, ServiceConfig(max_workers=8))
+        session = service.open_session(tenant="alice")
+        ticket = service.submit("How many incidents were caused by wind?",
+                                index="ntsb", session=session)
+        served = ticket.result(timeout=30)
+        service.close()          # graceful drain
+
+    Thread-safety: ``submit`` may be called from any thread; each worker
+    thread owns a private :class:`Luna` facade (the planner/executor pair
+    keeps per-query scratch state) while the context, catalog, scheduler,
+    caches and tracer are shared.
+    """
+
+    def __init__(
+        self,
+        context: SycamoreContext,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.context = context
+        self.config = config or ServiceConfig()
+        self.tracer: Optional[Tracer] = getattr(context, "tracer", None)
+        self.registry = registry if registry is not None else context.registry
+        self.plan_cache = SingleFlightCache(self.config.plan_cache_size)
+        self.result_cache = SingleFlightCache(self.config.result_cache_size)
+        reg = self.registry
+        self._m_submitted = reg.counter("serving.submitted")
+        self._m_admitted = reg.counter("serving.admitted")
+        self._m_rejected = reg.counter("serving.rejected")
+        self._m_completed = reg.counter("serving.completed")
+        self._m_failed = reg.counter("serving.failed")
+        self._m_cancelled = reg.counter("serving.cancelled")
+        self._m_plans_computed = reg.counter("serving.plans_computed")
+        self._m_executions = reg.counter("serving.executions")
+        self._m_plan_hits = reg.counter("serving.plan_cache_hits")
+        self._m_plan_coalesced = reg.counter("serving.plan_cache_coalesced")
+        self._m_plan_misses = reg.counter("serving.plan_cache_misses")
+        self._m_result_hits = reg.counter("serving.result_cache_hits")
+        self._m_result_coalesced = reg.counter("serving.result_cache_coalesced")
+        self._m_result_misses = reg.counter("serving.result_cache_misses")
+        self._m_saved_usd = reg.counter("serving.saved_usd")
+        self._g_queue_depth = reg.gauge("serving.queue_depth")
+        self._g_active = reg.gauge("serving.active_queries")
+        self._h_latency = reg.histogram("serving.latency_ms")
+        self._cond = threading.Condition()
+        self._queue: List[QueryTicket] = []
+        self._tenants: Dict[str, Tenant] = {}
+        self._accounts_lock = threading.Lock()
+        self._active = 0
+        self._closed = False
+        self._query_counter = 0
+        self._session_counter = 0
+        self._peak_queue_depth = 0
+        self._luna_local = threading.local()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Tenants and sessions
+    # ------------------------------------------------------------------
+
+    def _tenant_locked(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(
+                name=name,
+                quota=TenantQuota(
+                    max_inflight=self.config.default_tenant_inflight
+                ),
+            )
+            self._tenants[name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        """The (auto-created) tenant record for ``name``."""
+        with self._cond:
+            return self._tenant_locked(name)
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Install an admission quota for one tenant."""
+        with self._cond:
+            self._tenant_locked(tenant).quota = quota
+
+    def tenant_account(self, name: str) -> CostAccount:
+        """The tenant's long-lived cost ledger (spend and savings)."""
+        return self.tenant(name).account
+
+    def open_session(
+        self, tenant: str = "default", index: Optional[str] = None
+    ) -> Session:
+        """Start a conversation for a tenant (``index`` becomes its
+        default target index)."""
+        with self._cond:
+            self._tenant_locked(tenant)
+            self._session_counter += 1
+            session_id = f"sess{self._session_counter:04d}"
+        return Session(session_id=session_id, tenant=tenant, default_index=index)
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        question: str,
+        index: Optional[str] = None,
+        *,
+        tenant: Optional[str] = None,
+        session: Optional[Session] = None,
+        secondary: Sequence[str] = (),
+        follow_up: bool = False,
+    ) -> QueryTicket:
+        """Admit one query; returns a ticket whose future resolves to a
+        :class:`ServedResult`.
+
+        Raises :class:`Overloaded` when the queue or the tenant quota is
+        full (load shedding — retry with backoff), :class:`ServiceClosed`
+        after shutdown. ``follow_up=True`` plans against the session's
+        previous answer's documents and bypasses both caches.
+        """
+        if session is not None:
+            tenant = session.tenant
+            index = index or session.default_index
+        tenant = tenant or "default"
+        if index is None:
+            raise ValueError("submit() needs an index (or a session with one)")
+        if follow_up and session is None:
+            raise ValueError("follow_up queries need a session")
+        with self._cond:
+            record = self._tenant_locked(tenant)
+            record.submitted += 1
+            self._m_submitted.inc()
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if len(self._queue) >= self.config.max_queue_depth:
+                record.rejected += 1
+                self._m_rejected.inc()
+                raise Overloaded(
+                    f"queue full ({self.config.max_queue_depth} queries)",
+                    reason="queue_full",
+                    queue_depth=len(self._queue),
+                )
+            if record.inflight >= record.quota.max_inflight:
+                record.rejected += 1
+                self._m_rejected.inc()
+                raise Overloaded(
+                    f"tenant {tenant!r} is at its quota "
+                    f"({record.quota.max_inflight} inflight queries)",
+                    reason="tenant_quota",
+                    tenant=tenant,
+                )
+            self._query_counter += 1
+            ticket = QueryTicket(
+                query_id=f"q{self._query_counter:06d}",
+                question=question,
+                index=index,
+                tenant=tenant,
+                session=session,
+                secondary=tuple(secondary),
+                follow_up=follow_up,
+            )
+            record.inflight += 1
+            self._queue.append(ticket)
+            self._m_admitted.inc()
+            depth = len(self._queue)
+            if depth > self._peak_queue_depth:
+                self._peak_queue_depth = depth
+            self._g_queue_depth.set(depth)
+            self._cond.notify()
+        ticket._emit("admitted", queue_depth=depth)
+        return ticket
+
+    def query(
+        self,
+        question: str,
+        index: Optional[str] = None,
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ) -> ServedResult:
+        """Submit and block for the served result (convenience wrapper)."""
+        return self.submit(question, index, **kwargs).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _luna(self) -> Luna:
+        """This worker thread's private Luna facade (lazily built)."""
+        luna = getattr(self._luna_local, "luna", None)
+        if luna is None:
+            luna = Luna(
+                self.context,
+                planner_model=self.config.planner_model,
+                policy=self.config.policy,
+                error_policy=self.config.error_policy,
+            )
+            self._luna_local.luna = luna
+        return luna
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                ticket = self._queue.pop(0)
+                self._active += 1
+                self._g_queue_depth.set(len(self._queue))
+                self._g_active.set(self._active)
+            try:
+                self._process(ticket)
+            finally:
+                with self._cond:
+                    self._active -= 1
+                    self._tenants[ticket.tenant].inflight -= 1
+                    self._g_active.set(self._active)
+                    self._cond.notify_all()
+
+    def _process(self, ticket: QueryTicket) -> None:
+        """Run one admitted query end to end; never raises."""
+        started = time.perf_counter()
+        serve_span: Optional[Span] = None
+        if self.tracer is not None:
+            serve_span = self.tracer.start_span(
+                "serve:query",
+                kind="serve",
+                parent=None,
+                tenant=ticket.tenant,
+                session=ticket.session_id or "",
+                question=ticket.question,
+                index=ticket.index,
+            )
+        try:
+            if serve_span is not None:
+                with self.tracer.attach(serve_span):
+                    served = self._serve(ticket, serve_span, started)
+            else:
+                served = self._serve(ticket, None, started)
+        except BaseException as exc:  # noqa: BLE001 - fail the ticket, not the worker
+            if serve_span is not None:
+                self.tracer.finish(
+                    serve_span,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            with self._accounts_lock:
+                self.tenant(ticket.tenant).failed += 1
+            self._m_failed.inc()
+            ticket._emit("failed", error=f"{type(exc).__name__}: {exc}")
+            ticket.future.set_exception(exc)
+            return
+        if serve_span is not None:
+            serve_span.set_attributes(
+                plan_cache=served.plan_cache,
+                result_cache=served.result_cache,
+                cost_usd=served.cost_usd,
+                saved_usd=served.saved_usd,
+            )
+            self.tracer.finish(serve_span)
+            served.serve_trace_id = serve_span.trace_id
+        with self._accounts_lock:
+            self.tenant(ticket.tenant).completed += 1
+        self._m_completed.inc()
+        self._h_latency.observe(served.latency_s * 1000.0)
+        if ticket.session is not None:
+            preview = repr(served.answer)
+            ticket.session.record(
+                SessionEntry(
+                    question=ticket.question,
+                    index=ticket.index,
+                    answer_preview=preview[:64] + ("..." if len(preview) > 64 else ""),
+                    plan_cache=served.plan_cache,
+                    result_cache=served.result_cache,
+                    cost_usd=served.cost_usd,
+                    saved_usd=served.saved_usd,
+                    trace_id=served.serve_trace_id,
+                    supporting_documents=served.result.trace.supporting_documents(),
+                )
+            )
+        ticket._emit("completed", answer=repr(served.answer)[:64])
+        ticket.future.set_result(served)
+
+    # ------------------------------------------------------------------
+
+    def _serve(
+        self, ticket: QueryTicket, serve_span: Optional[Span], started: float
+    ) -> ServedResult:
+        luna = self._luna()
+        catalog = self.context.catalog
+        index_obj = catalog.get(ticket.index)
+        secondary_objs = [catalog.get(name) for name in ticket.secondary]
+        charges = {"cost": 0.0, "saved": 0.0}
+
+        if ticket.follow_up:
+            result = self._serve_follow_up(luna, ticket, index_obj, charges)
+            plan_outcome = result_outcome = "bypass"
+        else:
+            plan_state = {"outcome": None}
+
+            def compute_result() -> LunaResult:
+                entry = self._obtain_plan(
+                    luna, ticket, index_obj, secondary_objs, plan_state, charges
+                )
+                ticket._emit("executing")
+                self._m_executions.inc()
+                result = luna.execute_plan(
+                    ticket.question, ticket.index, entry.hydrate()
+                )
+                self._charge_execution(ticket.tenant, result, charges)
+                return result
+
+            rkey = result_cache_key(ticket.question, index_obj, secondary_objs)
+            result, result_outcome = self.result_cache.get_or_compute(
+                rkey, compute_result
+            )
+            if result_outcome == HIT:
+                self._m_result_hits.inc()
+                self._credit_result_reuse(ticket, result, charges)
+            elif result_outcome == COALESCED:
+                self._m_result_coalesced.inc()
+                self._credit_result_reuse(ticket, result, charges)
+            else:
+                self._m_result_misses.inc()
+            # On result reuse the plan phase never ran: the cached answer
+            # implicitly reused the cached plan.
+            plan_outcome = plan_state["outcome"] or result_outcome
+
+        latency = time.perf_counter() - started
+        return ServedResult(
+            query_id=ticket.query_id,
+            question=ticket.question,
+            index=ticket.index,
+            tenant=ticket.tenant,
+            session_id=ticket.session_id,
+            result=result,
+            plan_cache=plan_outcome,
+            result_cache=result_outcome,
+            cost_usd=charges["cost"],
+            saved_usd=charges["saved"],
+            latency_s=latency,
+        )
+
+    def _obtain_plan(
+        self,
+        luna: Luna,
+        ticket: QueryTicket,
+        index_obj: Any,
+        secondary_objs: List[Any],
+        plan_state: Dict[str, Any],
+        charges: Dict[str, float],
+    ) -> _PlanEntry:
+        """Plan-cache lookup with single-flight planning on a miss."""
+        ticket._emit("planning")
+
+        def compute_plan() -> _PlanEntry:
+            self._m_plans_computed.inc()
+            tracer = self.tracer
+            if tracer is None:
+                plan = luna.planner.plan(
+                    ticket.question, index_obj, secondary=secondary_objs
+                )
+                return _PlanEntry(plan_json=plan.to_json(), cost_usd=0.0, llm_calls=0)
+            # Planning runs in its own trace: with single-flight, one
+            # planner run serves many queries, so its spans can't belong
+            # to any single query's trace. The serve span links to it.
+            plan_span = tracer.start_span(
+                "plan:serve",
+                kind="plan",
+                parent=None,
+                question=ticket.question,
+                index=ticket.index,
+            )
+            try:
+                with tracer.attach(plan_span):
+                    plan = luna.planner.plan(
+                        ticket.question, index_obj, secondary=secondary_objs
+                    )
+            except BaseException as exc:
+                tracer.finish(
+                    plan_span, status="error", error=f"{type(exc).__name__}: {exc}"
+                )
+                raise
+            tracer.finish(plan_span)
+            plan_cost = CostAccount.from_spans(
+                tracer.trace_spans(plan_span.trace_id)
+            )
+            return _PlanEntry(
+                plan_json=plan.to_json(),
+                cost_usd=plan_cost.cost_usd,
+                llm_calls=plan_cost.llm_calls,
+                plan_trace_id=plan_span.trace_id,
+            )
+
+        pkey = plan_cache_key(ticket.question, index_obj, secondary_objs)
+        entry, outcome = self.plan_cache.get_or_compute(pkey, compute_plan)
+        plan_state["outcome"] = outcome
+        if outcome == MISS:
+            self._m_plan_misses.inc()
+            charges["cost"] += entry.cost_usd
+            with self._accounts_lock:
+                self.tenant(ticket.tenant).account.operator(
+                    "(planning)"
+                ).cost_usd += entry.cost_usd
+        else:
+            if outcome == HIT:
+                self._m_plan_hits.inc()
+            else:
+                self._m_plan_coalesced.inc()
+            ticket._emit("plan_cache_hit", outcome=outcome)
+            if entry.cost_usd > 0:
+                charges["saved"] += entry.cost_usd
+                self._m_saved_usd.inc(entry.cost_usd)
+                with self._accounts_lock:
+                    self.tenant(ticket.tenant).account.record_saving(
+                        "(plan-cache)", entry.cost_usd
+                    )
+        return entry
+
+    def _charge_execution(
+        self, tenant: str, result: LunaResult, charges: Dict[str, float]
+    ) -> None:
+        """Book an executed query's cost account to its tenant."""
+        account = result.trace.cost
+        if account is None:
+            # Untraced context: synthesize a one-row account from the
+            # execution trace's aggregate numbers.
+            account = CostAccount()
+            record = account.operator("(query)")
+            record.cost_usd = result.trace.total_cost_usd()
+            record.llm_calls = result.trace.total_llm_calls()
+        charges["cost"] += account.cost_usd
+        with self._accounts_lock:
+            self.tenant(tenant).account.merge(account)
+
+    def _credit_result_reuse(
+        self, ticket: QueryTicket, result: LunaResult, charges: Dict[str, float]
+    ) -> None:
+        """Book a result-cache hit as dollars saved, not spent."""
+        ticket._emit("result_cache_hit")
+        cost = result.trace.cost
+        saved = cost.cost_usd if cost is not None else result.trace.total_cost_usd()
+        if saved > 0:
+            charges["saved"] += saved
+            self._m_saved_usd.inc(saved)
+            with self._accounts_lock:
+                self.tenant(ticket.tenant).account.record_saving(
+                    "(result-cache)", saved
+                )
+
+    def _serve_follow_up(
+        self,
+        luna: Luna,
+        ticket: QueryTicket,
+        index_obj: Any,
+        charges: Dict[str, float],
+    ) -> LunaResult:
+        """Plan against the session's previous answer's documents.
+
+        Follow-ups are conversation-specific (their source is the prior
+        answer's provenance), so they bypass both caches.
+        """
+        assert ticket.session is not None
+        doc_ids = ticket.session.last_supporting_documents()
+        if not doc_ids:
+            raise ServingError(
+                "follow-up needs a previous answer with document provenance"
+            )
+        ticket._emit("planning")
+        self._m_plans_computed.inc()
+        plan = luna.planner.plan(ticket.question, index_obj)
+        for node in plan.nodes:
+            if node.operation == "QueryIndex":
+                node.operation = "FromDocuments"
+                node.params = {"index": ticket.index, "doc_ids": list(doc_ids)}
+                node.description = (
+                    f"Start from the {len(doc_ids)} records of the previous answer"
+                )
+        plan.validate()
+        ticket._emit("executing")
+        self._m_executions.inc()
+        result = luna.execute_plan(ticket.question, ticket.index, plan)
+        self._charge_execution(ticket.tenant, result, charges)
+        return result
+
+    # ------------------------------------------------------------------
+    # Lifecycle and status
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted query has finished. Returns False
+        on timeout (queries keep running)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._active:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+        return True
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down. ``drain=True`` completes every admitted query
+        first; ``drain=False`` fails queued-but-unstarted queries with
+        :class:`ServiceClosed`. Either way no ticket's future is lost."""
+        cancelled: List[QueryTicket] = []
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    cancelled = self._queue[:]
+                    self._queue.clear()
+                    for ticket in cancelled:
+                        self._tenants[ticket.tenant].inflight -= 1
+                        self._m_cancelled.inc()
+                    self._g_queue_depth.set(0)
+                self._cond.notify_all()
+        for ticket in cancelled:
+            ticket._emit("cancelled")
+            ticket.future.set_exception(
+                ServiceClosed("service closed before this query started")
+            )
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time service status: traffic, caches, tenants."""
+        with self._cond:
+            queue_depth = len(self._queue)
+            active = self._active
+            peak = self._peak_queue_depth
+            tenants = {name: t.as_dict() for name, t in sorted(self._tenants.items())}
+        return {
+            "submitted": int(self._m_submitted.value()),
+            "admitted": int(self._m_admitted.value()),
+            "rejected": int(self._m_rejected.value()),
+            "completed": int(self._m_completed.value()),
+            "failed": int(self._m_failed.value()),
+            "cancelled": int(self._m_cancelled.value()),
+            "queue_depth": queue_depth,
+            "peak_queue_depth": peak,
+            "active_queries": active,
+            "plans_computed": int(self._m_plans_computed.value()),
+            "executions": int(self._m_executions.value()),
+            "plan_cache": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+            "saved_usd": round(self._m_saved_usd.value(), 6),
+            "tenants": tenants,
+        }

@@ -1,0 +1,142 @@
+"""Serving sessions, tenants and quotas.
+
+The paper frames Luna as a *conversational* service: users pose a
+question, inspect the answer, and refine ("of those, how many were in
+Alaska?"). A :class:`Session` is one such conversation — an ordered log
+of served queries whose provenance enables follow-ups — owned by a
+:class:`Tenant`, which carries the admission quota and the long-lived
+:class:`~repro.observability.CostAccount` the service charges (and
+credits cache savings to).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..observability.cost import CostAccount
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_inflight`` bounds queued-plus-running queries; past it the
+    service sheds the tenant's submissions with
+    :class:`~repro.serving.service.Overloaded` so one noisy tenant can't
+    monopolize the shared queue.
+    """
+
+    max_inflight: int = 8
+
+
+@dataclass
+class Tenant:
+    """Per-tenant serving state: quota, traffic counters, cost ledger."""
+
+    name: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    #: Queries currently admitted (queued or running).
+    inflight: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    #: Everything this tenant's queries spent and saved, aggregated
+    #: across queries by operator (see CostAccount.merge).
+    account: CostAccount = field(default_factory=CostAccount)
+
+    def __post_init__(self) -> None:
+        if not self.account.trace_id:
+            self.account.trace_id = f"tenant:{self.name}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat status view (stable keys)."""
+        return {
+            "tenant": self.name,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "inflight": self.inflight,
+            "cost_usd": round(self.account.cost_usd, 6),
+            "saved_usd": round(self.account.saved_usd, 6),
+        }
+
+
+@dataclass
+class SessionEntry:
+    """One served query as remembered by its session."""
+
+    question: str
+    index: str
+    answer_preview: str
+    plan_cache: str
+    result_cache: str
+    cost_usd: float
+    saved_usd: float
+    trace_id: str
+    #: Document ids supporting the answer — the provenance follow-up
+    #: queries start from.
+    supporting_documents: List[str] = field(default_factory=list)
+
+
+class Session:
+    """One conversation: an append-only log of served queries.
+
+    Thread-safe — concurrent queries may record into one session, and
+    :meth:`last_supporting_documents` gives follow-ups a stable snapshot.
+    """
+
+    def __init__(self, session_id: str, tenant: str, default_index: Optional[str] = None):
+        self.session_id = session_id
+        self.tenant = tenant
+        self.default_index = default_index
+        self._lock = threading.Lock()
+        self._entries: List[SessionEntry] = []
+
+    def record(self, entry: SessionEntry) -> None:
+        """Append one served query to the conversation."""
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> List[SessionEntry]:
+        """Snapshot of the conversation so far."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def last(self) -> Optional[SessionEntry]:
+        """The most recent served query, if any."""
+        with self._lock:
+            return self._entries[-1] if self._entries else None
+
+    def last_supporting_documents(self) -> List[str]:
+        """Provenance of the latest answer that has any (for follow-ups)."""
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry.supporting_documents:
+                    return list(entry.supporting_documents)
+        return []
+
+    def render(self) -> str:
+        """Human-readable conversation transcript."""
+        lines = [f"session {self.session_id} (tenant {self.tenant})"]
+        for i, entry in enumerate(self.entries()):
+            provenance = []
+            if entry.plan_cache != "miss":
+                provenance.append(f"plan:{entry.plan_cache}")
+            if entry.result_cache != "miss":
+                provenance.append(f"result:{entry.result_cache}")
+            suffix = f" [{', '.join(provenance)}]" if provenance else ""
+            lines.append(
+                f"  #{i} [{entry.index}] {entry.question} -> "
+                f"{entry.answer_preview} "
+                f"(${entry.cost_usd:.4f} spent, ${entry.saved_usd:.4f} saved)"
+                f"{suffix}"
+            )
+        return "\n".join(lines)

@@ -357,8 +357,18 @@ class DocSet:
     # ------------------------------------------------------------------
 
     def materialize(self, path: Optional[Path] = None) -> "DocSet":
-        """Cache boundary: to memory, or to disk when ``path`` is given (§5.3)."""
-        cache = DiskCache(path) if path is not None else MemoryCache()
+        """Cache boundary: to memory, or to disk when ``path`` is given (§5.3).
+
+        Disk materializations are stamped with the upstream plan's
+        structural fingerprint, so a cache file left by a *different*
+        pipeline is recomputed instead of served stale.
+        """
+        if path is not None:
+            from ..execution.materialize import plan_fingerprint
+
+            cache: Any = DiskCache(path, fingerprint=plan_fingerprint(self.plan))
+        else:
+            cache = MemoryCache()
         return DocSet(self.context, self.plan.materialize(cache))
 
     def take_all(self) -> List[Document]:
