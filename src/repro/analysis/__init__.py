@@ -1,0 +1,55 @@
+"""Project-specific static analysis for the repro codebase.
+
+Three coordinated parts (see DESIGN.md §11):
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — a
+  rule-based AST lint engine tuned to the bug classes that kill a
+  heavily threaded LLM-serving stack: blocking calls under locks,
+  leaked executors and threads, dropped futures, metric-name drift,
+  and wall-clock timing where monotonic clocks are required.
+* :mod:`repro.analysis.plancheck` — a static validator for Luna
+  :class:`~repro.luna.operators.LogicalPlan` DAGs, run by the planner
+  (reject + replan), the executor (structural gate), and the serving
+  plan cache (invalid plans are never admitted).
+* :mod:`repro.analysis.leakcheck` — thread/executor leak detection
+  behind the pytest leak-sanitizer fixture.
+"""
+
+from .engine import (
+    Finding,
+    FileContext,
+    LintReport,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    register,
+    write_baseline,
+)
+from .plancheck import (
+    PlanCheckError,
+    PlanCheckIssue,
+    PlanCheckReport,
+    check_plan,
+    ensure_valid_plan,
+)
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "write_baseline",
+    "PlanCheckError",
+    "PlanCheckIssue",
+    "PlanCheckReport",
+    "check_plan",
+    "ensure_valid_plan",
+]

@@ -1,0 +1,309 @@
+"""The lint engine: file parsing, rule registry, suppressions, baseline.
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
+yields :class:`Finding` objects. Rules register themselves in
+:data:`RULES` via the :func:`register` decorator (see
+:mod:`repro.analysis.rules` for the catalog).
+
+Two escape hatches keep the linter honest on a real codebase:
+
+* **Inline suppressions** — ``# repro: lint-ignore[rule-id]`` on the
+  offending line (or the line directly above) silences that rule there.
+  A bare ``# repro: lint-ignore`` silences every rule. Suppressions are
+  deliberate, reviewable markers for false positives and by-design
+  exceptions (e.g. a semaphore released by a different thread).
+* **Baseline** — a committed JSON file of known findings. Findings
+  matching the baseline are reported separately and do not fail the
+  run, so the linter can be adopted without fixing the world first; new
+  violations still fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "write_baseline",
+]
+
+#: Matches ``# repro: lint-ignore`` / ``# repro: lint-ignore[a, b]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore(?:\[([\w\-, ]+)\])?")
+
+#: Sentinel for "all rules suppressed on this line".
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def identity(self) -> str:
+        """Baseline key: stable across unrelated line-number drift."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.suppressions: Dict[int, Set[str]] = _parse_suppressions(source)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when the line (or the one above it) suppresses the rule."""
+        for candidate in (line, line - 1):
+            rules = self.suppressions.get(candidate)
+            if rules is not None and (_ALL_RULES in rules or rule_id in rules):
+                return True
+        return False
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            suppressions[lineno] = {_ALL_RULES}
+        else:
+            suppressions[lineno] = {
+                name.strip() for name in listed.split(",") if name.strip()
+            }
+    return suppressions
+
+
+class Rule:
+    """Base class for lint rules. Subclasses set ``id``/``description``
+    and implement :meth:`check`."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Convenience constructor anchored at an AST node."""
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: The process-wide rule registry, id -> instance.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of the rule to :data:`RULES`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    RULES[rule.id] = rule
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``findings`` are actionable violations (exit non-zero); ``baselined``
+    matched the committed baseline; ``suppressed`` were silenced inline.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
+            f"({len(self.baselined)} baselined, {self.suppressed} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def _selected_rules(rules: Optional[Iterable[str]]) -> List[Rule]:
+    if rules is None:
+        return list(RULES.values())
+    selected = []
+    for rule_id in rules:
+        if rule_id not in RULES:
+            raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(RULES)}")
+        selected.append(RULES[rule_id])
+    return selected
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; suppressed findings are dropped."""
+    report = LintReport()
+    findings = _lint_context(source, path, _selected_rules(rules), report)
+    return findings
+
+
+def _lint_context(
+    source: str, path: str, rules: Sequence[Rule], report: LintReport
+) -> List[Finding]:
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.rule, finding.line):
+                report.suppressed += 1
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Union[str, Path], rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one file on disk."""
+    report = LintReport()
+    source = Path(path).read_text(encoding="utf-8")
+    return _lint_context(source, str(path), _selected_rules(rules), report)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint files/directories against an optional baseline."""
+    report = LintReport()
+    selected = _selected_rules(rules)
+    baseline = baseline or set()
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        source = path.read_text(encoding="utf-8")
+        for finding in _lint_context(source, str(path), selected, report):
+            if finding.identity() in baseline:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """Load a baseline file into a set of finding identities.
+
+    A missing file is an empty baseline (fresh repos start clean).
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return set()
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    identities: Set[str] = set()
+    for entry in payload.get("findings", []):
+        identities.add(f"{entry['path']}::{entry['rule']}::{entry['message']}")
+    return identities
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Persist current findings as the accepted baseline."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,61 @@
+"""Thread/executor leak detection for the pytest leak sanitizer.
+
+The serving stack is all background machinery — scheduler workers,
+dispatch pools, service worker threads, LLM batch pools. Every one of
+them has an owner with a ``close()``; a test that leaves one behind has
+found a lifecycle bug (in the code or in the test). The conftest
+fixture snapshots live threads before each test and fails the test if
+new *non-daemon* threads survive it — which covers un-shutdown
+``ThreadPoolExecutor`` instances too, because their workers are
+non-daemon threads.
+
+A short grace period absorbs threads that are mid-exit when the test
+body returns (e.g. a pool observed between ``shutdown(wait=False)`` and
+actual death).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Set
+
+__all__ = ["thread_snapshot", "find_leaked_threads", "describe_thread"]
+
+
+def thread_snapshot() -> Set[int]:
+    """Idents of all currently live threads."""
+    return {t.ident for t in threading.enumerate() if t.ident is not None}
+
+
+def describe_thread(thread: threading.Thread) -> str:
+    kind = "daemon" if thread.daemon else "non-daemon"
+    return f"{thread.name} ({kind}, ident={thread.ident})"
+
+
+def find_leaked_threads(
+    before: Set[int],
+    grace_s: float = 2.0,
+    poll_s: float = 0.05,
+    include_daemon: bool = False,
+) -> List[str]:
+    """Descriptions of threads born since ``before`` that are still
+    alive after the grace period.
+
+    Only non-daemon threads count by default: daemon helpers (e.g.
+    scheduler workers in a test that intentionally abandons a scheduler)
+    cannot block interpreter exit, while a leaked non-daemon thread —
+    including every worker of an un-shutdown pool executor — will.
+    """
+    deadline = time.monotonic() + grace_s
+    while True:
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t.is_alive()
+            and t.ident not in before
+            and (include_daemon or not t.daemon)
+        ]
+        if not leaked or time.monotonic() >= deadline:
+            return [describe_thread(t) for t in leaked]
+        time.sleep(poll_s)

@@ -45,6 +45,14 @@ Commands
     Run the serving benchmark (warm concurrent service vs cold
     sequential ``Luna.query`` loop, plus an overload/shedding phase) and
     optionally write ``BENCH_serving.json``.
+``lint``
+    Run the project's static-analysis rules (``repro.analysis``) over
+    source paths; exits non-zero on findings not in the committed
+    baseline. ``--json`` emits a machine-readable report for CI.
+``plancheck``
+    Statically validate a Luna logical-plan JSON file (or stdin) —
+    structure, arity, references, and, with ``--schema``, field-level
+    dataflow — printing the full issue report.
 
 All commands are offline and deterministic for a given ``--seed``.
 """
@@ -415,6 +423,59 @@ def _parse_brownout(value: str) -> BrownoutWindow:
         ) from None
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import lint_paths, load_baseline, write_baseline
+
+    paths = args.paths or ["src"]
+    baseline = load_baseline(args.baseline)
+    report = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(args.baseline, report.findings + report.baselined)
+        print(
+            f"wrote {len(report.findings) + len(report.baselined)} finding(s) "
+            f"to {args.baseline}"
+        )
+        return 0
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_plancheck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import check_plan
+    from .luna.operators import LogicalPlan, PlanValidationError
+
+    if args.plan == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+    schema = None
+    if args.schema:
+        with open(args.schema, "r", encoding="utf-8") as handle:
+            schema = _json.load(handle)
+        # Accept both a bare field map and a schema_for_planner payload.
+        if isinstance(schema, dict) and "fields" in schema:
+            schema = schema["fields"]
+    try:
+        plan = LogicalPlan.from_json(payload)
+    except (PlanValidationError, _json.JSONDecodeError) as exc:
+        print(f"plan does not parse: {exc}")
+        return 1
+    report = check_plan(plan, schema=schema)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -616,6 +677,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("--seed", type=int, default=0)
     partition.set_defaults(handler=_cmd_partition)
+
+    lint = sub.add_parser(
+        "lint", help="run the project static-analysis rules over source paths"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src)"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit a JSON report (for CI artifacts)"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=".lint-baseline.json",
+        help="baseline file of accepted findings (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
+    plancheck = sub.add_parser(
+        "plancheck", help="statically validate a Luna logical-plan JSON file"
+    )
+    plancheck.add_argument(
+        "plan", help="path to the plan JSON ('-' reads stdin)"
+    )
+    plancheck.add_argument(
+        "--schema",
+        help="JSON file with the index field schema (enables field checks)",
+    )
+    plancheck.add_argument(
+        "--json", action="store_true", help="emit the issue report as JSON"
+    )
+    plancheck.set_defaults(handler=_cmd_plancheck)
     return parser
 
 

@@ -461,14 +461,19 @@ class ReliableLLM(LLMClient):
             ) from last_error
 
         if cacheable:
+            evicted = 0
             with self._cache_lock:
                 self._cache[key] = response
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_max_entries:
                     self._cache.popitem(last=False)
-                    with self._counter_lock:
-                        self.cache_evictions += 1
-                    self._m_cache_evictions.inc()
+                    evicted += 1
+            if evicted:
+                # Counters have their own lock; updating them after the
+                # cache lock is released avoids nested lock acquisition.
+                with self._counter_lock:
+                    self.cache_evictions += evicted
+                self._m_cache_evictions.inc(evicted)
         self._account(span, response, retries=retries_used)
         return response
 

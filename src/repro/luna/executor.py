@@ -156,6 +156,12 @@ class LunaExecutor:
         has none), the error is recorded on the trace, and the trace is
         flagged partial — rather than raising :class:`PlanExecutionError`.
         """
+        # Structural gate (no schema: execution has no index context):
+        # malformed plans fail before the first operator runs, with the
+        # full list of problems, not an interpreter error mid-plan.
+        from ..analysis.plancheck import ensure_valid_plan
+
+        ensure_valid_plan(plan)
         plan.validate()
         fatal = self.error_policy == "fail"
         tracer = getattr(self.context, "tracer", None)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..analysis.plancheck import ensure_valid_plan
 from ..observability.cost import CostAccount
 from ..sycamore.context import SycamoreContext
 from .codegen import generate_code
@@ -194,6 +195,19 @@ class Luna:
         span-derived :class:`~repro.observability.CostAccount`.
         """
         named_index = self.context.catalog.get(index)
+        # Static plan checks gate *every* execution path — planner
+        # output, follow-ups, and hand-built/edited session plans — so
+        # an invalid plan fails here with a structured
+        # :class:`~repro.analysis.plancheck.PlanCheckError`, never
+        # halfway through execution.
+        ensure_valid_plan(
+            plan,
+            schema=named_index.schema,
+            known_indexes={
+                name: self.context.catalog.get(name).schema
+                for name in self.context.catalog.names()
+            },
+        )
         tracer = getattr(self.context, "tracer", None)
         if tracer is None:
             optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)

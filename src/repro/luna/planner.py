@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..analysis.plancheck import ensure_valid_plan
 from ..indexes.catalog import NamedIndex
 from ..llm.base import LLMClient
 from ..llm.errors import MalformedOutputError
@@ -103,6 +104,12 @@ class LunaPlanner:
                 plan = LogicalPlan.from_json(payload)
                 plan = self._repair(plan, index)
                 plan.validate()
+                # Schema-aware static checks (repro.analysis.plancheck):
+                # a failing plan is rejected here, at plan time, and the
+                # loop replans from a fresh sample.
+                known = {index.name: index.schema}
+                known.update({s.name: s.schema for s in secondary})
+                ensure_valid_plan(plan, schema=index.schema, known_indexes=known)
                 return plan
             except PlanValidationError as exc:
                 last_error = exc

@@ -309,6 +309,8 @@ class RequestScheduler:
         one shared exception if it fails.
         """
         priority = _coerce_priority(priority)
+        shared: "Optional[Future[LLMResponse]]" = None
+        waiter_span: Optional[Span] = None
         with self._cond:
             if self._closed:
                 raise SchedulerClosedError("scheduler is closed")
@@ -318,66 +320,83 @@ class RequestScheduler:
             if self.dedup and temperature == 0.0:
                 key = (model, prompt, max_output_tokens)
                 shared = self._inflight.get(key)
-                if shared is not None:
-                    self._stats.dedup_hits += 1
-                    self._m_dedup_hits.inc()
-                    if self.tracer is not None:
-                        # The waiter gets its own span (attributed to ITS
-                        # query), finished when the shared call resolves:
-                        # full tokens, zero dollars, savings reported.
-                        span = self.tracer.start_span(
-                            f"llm:{model}",
-                            kind="llm_request",
-                            model=model,
-                            priority=priority.name.lower(),
-                            dedup="inflight",
-                        )
-                        shared.add_done_callback(
-                            lambda f, s=span: self._finish_request_span(
-                                s, f, charge=False
-                            )
-                        )
-                    return shared
-            queue = self._queues[priority]
-            if len(queue) >= self.max_queue_depth:
-                self._stats.rejected += 1
-                self._m_rejected.inc()
-                raise SchedulerSaturatedError(
-                    f"{priority.name.lower()} queue is full "
-                    f"({self.max_queue_depth} requests)"
+            if shared is None:
+                return self._enqueue_locked(
+                    prompt, model, max_output_tokens, temperature, priority, key
                 )
-            future: "Future[LLMResponse]" = Future()
-            span = None
+            self._stats.dedup_hits += 1
+            self._m_dedup_hits.inc()
             if self.tracer is not None:
-                span = self.tracer.start_span(
+                # The waiter gets its own span (attributed to ITS
+                # query), finished when the shared call resolves:
+                # full tokens, zero dollars, savings reported.
+                waiter_span = self.tracer.start_span(
                     f"llm:{model}",
                     kind="llm_request",
                     model=model,
                     priority=priority.name.lower(),
+                    dedup="inflight",
                 )
-            request = LLMRequest(
-                prompt=prompt,
-                model=model,
-                max_output_tokens=max_output_tokens,
-                temperature=temperature,
-                priority=priority,
-                future=future,
-                enqueued_at=self._clock(),
-                key=key,
-                span=span,
+        # Registered outside the lock: an already-resolved shared future
+        # runs the callback inline, and the span bookkeeping must not
+        # execute while holding _cond.
+        if waiter_span is not None:
+            span = waiter_span
+            shared.add_done_callback(
+                lambda f, s=span: self._finish_request_span(s, f, charge=False)
             )
-            if key is not None:
-                self._inflight[key] = future
-            queue.append(request)
-            self._stats.admitted += 1
-            self._m_admitted.inc()
-            depth = sum(len(q) for q in self._queues.values())
-            if depth > self._stats.peak_queue_depth:
-                self._stats.peak_queue_depth = depth
-            self._g_depth_interactive.set(len(self._queues[Priority.INTERACTIVE]))
-            self._g_depth_bulk.set(len(self._queues[Priority.BULK]))
-            self._cond.notify_all()
-            return future
+        return shared
+
+    def _enqueue_locked(
+        self,
+        prompt: str,
+        model: str,
+        max_output_tokens: Optional[int],
+        temperature: float,
+        priority: Priority,
+        key: Optional[DedupKey],
+    ) -> "Future[LLMResponse]":
+        """Admit a new request to its priority queue; caller holds _cond."""
+        queue = self._queues[priority]
+        if len(queue) >= self.max_queue_depth:
+            self._stats.rejected += 1
+            self._m_rejected.inc()
+            raise SchedulerSaturatedError(
+                f"{priority.name.lower()} queue is full "
+                f"({self.max_queue_depth} requests)"
+            )
+        future: "Future[LLMResponse]" = Future()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                f"llm:{model}",
+                kind="llm_request",
+                model=model,
+                priority=priority.name.lower(),
+            )
+        request = LLMRequest(
+            prompt=prompt,
+            model=model,
+            max_output_tokens=max_output_tokens,
+            temperature=temperature,
+            priority=priority,
+            future=future,
+            enqueued_at=self._clock(),
+            key=key,
+            span=span,
+        )
+        if key is not None:
+            self._inflight[key] = future
+        queue.append(request)
+        self._stats.admitted += 1
+        self._m_admitted.inc()
+        depth = sum(len(q) for q in self._queues.values())
+        if depth > self._stats.peak_queue_depth:
+            self._stats.peak_queue_depth = depth
+        self._g_depth_interactive.set(len(self._queues[Priority.INTERACTIVE]))
+        self._g_depth_bulk.set(len(self._queues[Priority.BULK]))
+        self._cond.notify_all()
+        return future
 
     def _finish_request_span(
         self,
@@ -526,8 +545,10 @@ class RequestScheduler:
             # Claim a dispatch slot *before* forming a batch, so batch
             # wait times are measured against real dispatch capacity —
             # and never while holding the lock (dispatch threads need it
-            # to resolve futures).
-            self._dispatch_slots.acquire()
+            # to resolve futures). The slot is released by the dispatch
+            # task (on a pool thread), so no try/finally can pair with
+            # this acquire.
+            self._dispatch_slots.acquire()  # repro: lint-ignore[bare-lock-acquire]
             with self._cond:
                 while not self._closed and self._total_depth() == 0:
                     self._cond.wait()
@@ -536,11 +557,15 @@ class RequestScheduler:
                     return
                 batch = self._form_batch_locked()
             try:
-                self._dispatch_pool.submit(self._dispatch, batch)
+                dispatched = self._dispatch_pool.submit(self._dispatch, batch)
             except RuntimeError:  # pool torn down mid-close
                 self._dispatch_slots.release()
                 self._fail_batch(
                     batch, SchedulerClosedError("scheduler closed during dispatch")
+                )
+            else:
+                dispatched.add_done_callback(
+                    lambda f, b=batch: self._dispatch_postmortem(f, b)
                 )
 
     def _total_depth(self) -> int:
@@ -736,6 +761,41 @@ class RequestScheduler:
             except Exception as exc:  # noqa: BLE001 - isolate per request
                 results.append(exc)
         return results
+
+    def _dispatch_postmortem(
+        self, task: "Future[None]", batch: List[LLMRequest]
+    ) -> None:
+        """Backstop for a dispatch task that died outside its own error
+        containment (i.e. a bug in post-processing): free the dispatch
+        slot it was holding and fail its futures, so waiters observe the
+        crash instead of hanging forever on a leaked slot."""
+        exc = task.exception()
+        if exc is None:
+            return
+        # _dispatch releases the slot immediately before resolving
+        # futures, and everything after that point is per-request
+        # contained — an escaped exception implies the release was
+        # never reached.
+        self._dispatch_slots.release()
+        with self._cond:
+            for request in batch:
+                if request.key is not None:
+                    self._inflight.pop(request.key, None)
+                if not request.future.done():
+                    self._stats.failed += 1
+                    self._m_failed.inc()
+        for request in batch:
+            if request.future.done():
+                continue
+            if self.tracer is not None and request.span is not None:
+                self.tracer.finish(
+                    request.span,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            request.future.set_exception(
+                SchedulerError(f"dispatch task crashed: {exc!r}")
+            )
 
     def _fail_batch(self, batch: List[LLMRequest], exc: Exception) -> None:
         with self._cond:

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.plancheck import ensure_valid_plan
 from ..luna.luna import Luna, LunaResult
 from ..luna.operators import LogicalPlan
 from ..observability.cost import CostAccount
@@ -465,9 +466,10 @@ class QueryService:
     def _process(self, ticket: QueryTicket) -> None:
         """Run one admitted query end to end; never raises."""
         started = time.perf_counter()
+        tracer = self.tracer
         serve_span: Optional[Span] = None
-        if self.tracer is not None:
-            serve_span = self.tracer.start_span(
+        if tracer is not None:
+            serve_span = tracer.start_span(
                 "serve:query",
                 kind="serve",
                 parent=None,
@@ -477,14 +479,14 @@ class QueryService:
                 index=ticket.index,
             )
         try:
-            if serve_span is not None:
-                with self.tracer.attach(serve_span):
+            if tracer is not None and serve_span is not None:
+                with tracer.attach(serve_span):
                     served = self._serve(ticket, serve_span, started)
             else:
                 served = self._serve(ticket, None, started)
         except BaseException as exc:  # noqa: BLE001 - fail the ticket, not the worker
-            if serve_span is not None:
-                self.tracer.finish(
+            if tracer is not None and serve_span is not None:
+                tracer.finish(
                     serve_span,
                     status="error",
                     error=f"{type(exc).__name__}: {exc}",
@@ -495,14 +497,14 @@ class QueryService:
             ticket._emit("failed", error=f"{type(exc).__name__}: {exc}")
             ticket.future.set_exception(exc)
             return
-        if serve_span is not None:
+        if tracer is not None and serve_span is not None:
             serve_span.set_attributes(
                 plan_cache=served.plan_cache,
                 result_cache=served.result_cache,
                 cost_usd=served.cost_usd,
                 saved_usd=served.saved_usd,
             )
-            self.tracer.finish(serve_span)
+            tracer.finish(serve_span)
             served.serve_trace_id = serve_span.trace_id
         with self._accounts_lock:
             self.tenant(ticket.tenant).completed += 1
@@ -598,13 +600,23 @@ class QueryService:
         """Plan-cache lookup with single-flight planning on a miss."""
         ticket._emit("planning")
 
+        def plan_checked() -> LogicalPlan:
+            plan = luna.planner.plan(
+                ticket.question, index_obj, secondary=secondary_objs
+            )
+            # The plan cache only admits plans that pass the static
+            # checks: a planner bypassed or stubbed out upstream cannot
+            # poison the cache with a plan that explodes at execution.
+            known = {index_obj.name: index_obj.schema}
+            known.update({s.name: s.schema for s in secondary_objs})
+            ensure_valid_plan(plan, schema=index_obj.schema, known_indexes=known)
+            return plan
+
         def compute_plan() -> _PlanEntry:
             self._m_plans_computed.inc()
             tracer = self.tracer
             if tracer is None:
-                plan = luna.planner.plan(
-                    ticket.question, index_obj, secondary=secondary_objs
-                )
+                plan = plan_checked()
                 return _PlanEntry(plan_json=plan.to_json(), cost_usd=0.0, llm_calls=0)
             # Planning runs in its own trace: with single-flight, one
             # planner run serves many queries, so its spans can't belong
@@ -618,9 +630,7 @@ class QueryService:
             )
             try:
                 with tracer.attach(plan_span):
-                    plan = luna.planner.plan(
-                        ticket.question, index_obj, secondary=secondary_objs
-                    )
+                    plan = plan_checked()
             except BaseException as exc:
                 tracer.finish(
                     plan_span, status="error", error=f"{type(exc).__name__}: {exc}"

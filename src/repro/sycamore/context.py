@@ -101,6 +101,23 @@ class SycamoreContext:
         self.last_stats = None
         self.read = _Readers(self)
 
+    def close(self) -> None:
+        """Release background resources the context owns.
+
+        The reliability-wrapped LLM lazily builds a batch thread pool
+        (``complete_many``); a context that is dropped without closing
+        it leaks those non-daemon workers. The scheduler, when present,
+        is *not* closed here: it is injected, so its creator owns its
+        lifecycle.
+        """
+        self.llm.close()
+
+    def __enter__(self) -> "SycamoreContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def llm_for(self, priority: "Priority | str" = Priority.BULK) -> LLMClient:
         """The client call sites should use for the given priority class.
 

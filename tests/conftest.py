@@ -9,11 +9,31 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import leakcheck
 from repro.datagen import generate_earnings_corpus, generate_ntsb_corpus
 from repro.docmodel import BoundingBox, Document, Element, Node, Table, TableCell
 from repro.llm import CostTracker, ReliableLLM, SimulatedLLM
 from repro.partitioner import ArynPartitioner
 from repro.sycamore import SycamoreContext
+
+
+@pytest.fixture(autouse=True)
+def _leak_sanitizer():
+    """Fail any test that leaves new non-daemon threads behind.
+
+    Un-shutdown ``ThreadPoolExecutor`` instances are caught too: their
+    workers are non-daemon threads. Intentional long-lived helpers must
+    be daemonized or joined before the test returns.
+    """
+    before = leakcheck.thread_snapshot()
+    yield
+    leaked = leakcheck.find_leaked_threads(before)
+    if leaked:
+        pytest.fail(
+            "test leaked non-daemon thread(s)/executor worker(s): "
+            + ", ".join(leaked),
+            pytrace=False,
+        )
 
 
 @pytest.fixture(scope="session")
@@ -32,13 +52,16 @@ def earnings_corpus():
 def oracle_llm():
     """Reliability-wrapped zero-noise simulated LLM with a fresh tracker."""
     tracker = CostTracker()
-    return ReliableLLM(SimulatedLLM(seed=0, tracker=tracker))
+    llm = ReliableLLM(SimulatedLLM(seed=0, tracker=tracker))
+    yield llm
+    llm.close()
 
 
 @pytest.fixture()
 def context():
     """A fresh single-threaded Sycamore context."""
-    return SycamoreContext(parallelism=1, seed=0)
+    with SycamoreContext(parallelism=1, seed=0) as ctx:
+        yield ctx
 
 
 @pytest.fixture(scope="session")
@@ -80,7 +103,8 @@ def indexed_context(ntsb_corpus, earnings_corpus):
         )
         .write.index("earnings")
     )
-    return ctx
+    yield ctx
+    ctx.close()
 
 
 def make_doc(text: str = "", **properties) -> Document:

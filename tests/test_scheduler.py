@@ -537,6 +537,7 @@ class TestCompleteManyFix:
             "echo:a", "echo:b", "echo:a", "echo:a", "echo:b"
         ]
         assert sorted(backend.calls) == ["a", "b"]
+        llm.close()
 
     def test_return_exceptions_isolates_failures(self):
         backend = RecordingBackend(fail_substring="bad")
@@ -547,6 +548,7 @@ class TestCompleteManyFix:
         assert results[0].text == "echo:ok"
         assert isinstance(results[1], TransientLLMError)
         assert results[2].text == "echo:ok2"
+        llm.close()
 
     def test_sequential_path_still_raises(self):
         backend = RecordingBackend(fail_substring="bad")
