@@ -1,0 +1,178 @@
+"""E14 — checkpointed crash recovery: kill/resume cost at every node.
+
+The lifecycle layer's claim (ISSUE 6 / ROADMAP "query lifecycle
+robustness") is that a query killed mid-execution resumes from its
+write-ahead journal with an answer **byte-identical** to an
+uninterrupted run, re-executing only the nodes past the last durable
+checkpoint. This benchmark kills one query after every checkpoint in
+turn and measures what resume actually re-does.
+
+For each kill point k (crash immediately after node k's checkpoint
+reaches disk):
+
+* run the query fresh under a journal, crash at k;
+* resume in a new facade, record replayed vs re-executed node counts
+  and wall time;
+* compare the canonical answer (answer + supporting document ids)
+  against the uninterrupted reference.
+
+Results land in ``BENCH_recovery.json`` at the repo root (uploaded as a
+CI artifact). Gates: every resume is byte-identical, resume never
+re-executes a checkpointed node, and a kill past the plan's midpoint
+re-executes fewer than 50% of the nodes.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+from repro.lifecycle import QueryJournal
+from repro.llm import ReliableLLM, SimulatedLLM
+from repro.luna import Luna
+from repro.observability import MetricsRegistry, Tracer
+from repro.partitioner import ArynPartitioner
+from repro.sycamore import SycamoreContext
+from repro.datagen import generate_ntsb_corpus
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_recovery.json"
+
+N_DOCS = 16
+SEED = 23
+QUESTION = "How many incidents were caused by wind?"
+
+SCHEMA = {
+    "state": "string",
+    "incident_year": "int",
+    "weather_related": "bool",
+    "injuries_fatal": "int",
+}
+
+
+class SimulatedCrash(BaseException):
+    """Stands in for a hard kill inside the benchmark process."""
+
+
+def _build_context():
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    llm = ReliableLLM(
+        SimulatedLLM(seed=SEED), cache_enabled=False, tracer=tracer, registry=registry
+    )
+    ctx = SycamoreContext(
+        llm=llm, parallelism=2, seed=SEED, tracer=tracer, registry=registry
+    )
+    _, raws = generate_ntsb_corpus(N_DOCS, seed=SEED)
+    (
+        ctx.read.raw(raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(SCHEMA, model="sim-large")
+        .write.index("ntsb")
+    )
+    return ctx
+
+
+def _canonical(result):
+    return json.dumps(
+        {
+            "answer": result.answer,
+            "docs": sorted(result.trace.supporting_documents()),
+        },
+        sort_keys=True,
+        default=repr,
+    )
+
+
+def run_recovery_benchmark(journal_root):
+    ctx = _build_context()
+    reference = Luna(ctx, error_policy="dead_letter").query(QUESTION, index="ntsb")
+    ref_bytes = _canonical(reference)
+    total_nodes = reference.trace.nodes_executed
+
+    kills = []
+    for kill_after in range(total_nodes - 1):
+        journal = QueryJournal(journal_root)
+        original = journal.node_complete
+
+        def crashing(query_id, index, operation, value):
+            original(query_id, index, operation, value)
+            if index >= kill_after:
+                raise SimulatedCrash
+
+        journal.node_complete = crashing
+        query_id = f"bench-kill-{kill_after}"
+        crashed = Luna(ctx, error_policy="dead_letter", journal=journal)
+        try:
+            crashed.query(QUESTION, index="ntsb", query_id=query_id)
+            raise AssertionError("kill point never reached")
+        except SimulatedCrash:
+            pass
+        journal.node_complete = original
+
+        started = time.perf_counter()
+        resumed = Luna(ctx, error_policy="dead_letter", journal=journal).resume(
+            query_id
+        )
+        resume_s = time.perf_counter() - started
+        kills.append(
+            {
+                "kill_after_node": kill_after,
+                "replayed": resumed.trace.nodes_replayed,
+                "reexecuted": resumed.trace.nodes_executed,
+                "reexecuted_fraction": round(
+                    resumed.trace.nodes_executed / total_nodes, 4
+                ),
+                "resume_s": round(resume_s, 4),
+                "byte_identical": _canonical(resumed) == ref_bytes,
+            }
+        )
+    return {
+        "question": QUESTION,
+        "n_docs": N_DOCS,
+        "seed": SEED,
+        "total_nodes": total_nodes,
+        "kills": kills,
+    }
+
+
+def test_bench_recovery(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        run_recovery_benchmark, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            f"after node {row['kill_after_node']}",
+            row["replayed"],
+            row["reexecuted"],
+            f"{row['reexecuted_fraction']:.0%}",
+            f"{row['resume_s'] * 1000:.0f}ms",
+            "yes" if row["byte_identical"] else "NO",
+        ]
+        for row in results["kills"]
+    ]
+    print_table(
+        "E14: crash recovery (kill after each checkpoint, resume from journal)",
+        ["kill point", "replayed", "re-executed", "re-exec %", "resume", "identical"],
+        rows,
+    )
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    total = results["total_nodes"]
+    assert results["kills"], "plan too small to kill mid-query"
+    for row in results["kills"]:
+        # Resume correctness: byte-identical, and checkpointed nodes are
+        # replayed, never re-run.
+        assert row["byte_identical"]
+        assert row["replayed"] == row["kill_after_node"] + 1
+        assert row["replayed"] + row["reexecuted"] == total
+    # The gate the issue specifies: a kill past the midpoint re-executes
+    # fewer than half the plan's nodes.
+    past_midpoint = [
+        row for row in results["kills"] if row["kill_after_node"] + 1 >= total / 2
+    ]
+    assert past_midpoint, "no kill point past the plan midpoint"
+    for row in past_midpoint:
+        assert row["reexecuted_fraction"] < 0.5

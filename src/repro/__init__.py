@@ -39,6 +39,13 @@ Quickstart::
 """
 
 from .docmodel import Document, Element, Table
+from .lifecycle import (
+    CancelScope,
+    Deadline,
+    DeadlineExceeded,
+    QueryCancelled,
+    QueryJournal,
+)
 from .luna import Luna, LunaResult
 from .observability import (
     CostAccount,
@@ -59,7 +66,10 @@ __version__ = "0.1.0"
 
 __all__ = [
     "ArynPartitioner",
+    "CancelScope",
     "CostAccount",
+    "Deadline",
+    "DeadlineExceeded",
     "DocSet",
     "Document",
     "Element",
@@ -68,6 +78,8 @@ __all__ = [
     "MetricsRegistry",
     "NaiveTextPartitioner",
     "Priority",
+    "QueryCancelled",
+    "QueryJournal",
     "QueryService",
     "RagPipeline",
     "RequestScheduler",

@@ -26,6 +26,12 @@ Rule catalog (ids):
   namespaces (see :data:`METRIC_NAMESPACES`).
 * ``naive-wall-clock`` — ``time.time()`` / naive ``datetime.now()``
   where spans and durations require monotonic clocks.
+* ``timeout-not-propagated`` — unbounded blocking waits
+  (``Future.result()``, ``Queue.get()``, ``Condition.wait()``,
+  ``Event.wait()`` with no timeout) inside the hot-path packages
+  (``repro.serving`` / ``repro.runtime`` / ``repro.execution``), where
+  every wait must derive its timeout from the query's remaining
+  deadline budget.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ METRIC_NAMESPACES: Tuple[str, ...] = (
     "faults.",
     "rag.",
     "analysis.",
+    "lifecycle.",
 )
 
 #: Terminal-name heuristic for "this expression is a lock-like object".
@@ -477,6 +484,104 @@ class MetricNameDrift(Rule):
             if isinstance(head, ast.Constant) and isinstance(head.value, str):
                 return head.value
         return None
+
+
+# ----------------------------------------------------------------------
+# timeout-not-propagated
+# ----------------------------------------------------------------------
+
+
+@register
+class TimeoutNotPropagated(Rule):
+    id = "timeout-not-propagated"
+    description = (
+        "An unbounded blocking wait in a hot-path package ignores the "
+        "query's deadline: a wedged dependency wedges the caller forever "
+        "instead of failing typed when the budget runs out."
+    )
+
+    #: Only the packages on a served query's critical path: every wait
+    #: there must be bounded by the remaining deadline budget.
+    _HOT_PATHS = ("repro/serving", "repro/runtime", "repro/execution")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if not any(fragment in normalized for fragment in self._HOT_PATHS):
+            return
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            # Bare wait(...) is concurrent.futures.wait — it takes an
+            # explicit timeout parameter and is checked separately below;
+            # only attribute calls (obj.wait/obj.result/obj.get) are the
+            # Condition/Event/Future/Queue shapes this rule targets.
+            if not isinstance(func, ast.Attribute):
+                continue
+            if self._has_timeout(call):
+                continue
+            receiver = ast.unparse(func.value)
+            if func.attr == "result":
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"'{receiver}.result()' without a timeout blocks "
+                    f"forever; bound it by the remaining deadline budget "
+                    f"(lifecycle.wait_future)",
+                )
+            elif func.attr == "wait" and _is_waitable(func.value):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"'{receiver}.wait()' without a timeout never observes "
+                    f"cancellation or deadline expiry",
+                )
+            elif func.attr == "get" and not call.args and not call.keywords:
+                # Zero-arg .get() only: dict.get(key) and queue.get(block,
+                # timeout) both carry arguments, a bare q.get() is the
+                # unbounded Queue.get shape.
+                if _is_queueish(func.value):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"'{receiver}.get()' without a timeout blocks "
+                        f"forever on an empty queue",
+                    )
+
+    @staticmethod
+    def _has_timeout(call: ast.Call) -> bool:
+        """True when any positional arg or a timeout= keyword bounds the
+        wait (Future.result(5) and cond.wait(timeout=x) both count)."""
+        if call.args:
+            return True
+        return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+def _is_waitable(expr: ast.AST) -> bool:
+    """Condition/Event-shaped receiver names (cond, event, _cv, done...)."""
+    name = _terminal_name(expr)
+    if name is None:
+        return False
+    return bool(
+        re.search(
+            r"(?:^|_)(?:cond|condition|cv|event|ready|done|stop|stopped|closed|"
+            r"shutdown|latch|barrier|gate|flag)s?$",
+            name.strip("_").lower(),
+        )
+    )
+
+
+def _is_queueish(expr: ast.AST) -> bool:
+    """Queue-shaped receiver names (queue, _q, inbox, work_items...)."""
+    name = _terminal_name(expr)
+    if name is None:
+        return False
+    return bool(
+        re.search(
+            r"(?:^|_)(?:q|queue|queues|inbox|outbox|mailbox|work_items|backlog)$",
+            name.strip("_").lower(),
+        )
+    )
 
 
 # ----------------------------------------------------------------------

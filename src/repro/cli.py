@@ -18,7 +18,12 @@ Commands
     completes with a partial answer and a dead-letter report instead of
     crashing. All traffic flows through the shared request scheduler, so
     the report includes queue depth and dedup savings alongside the
-    dead-letter counts.
+    dead-letter counts. ``--kill-at N`` switches to the crash-recovery
+    drill: a subprocess runs the query with a write-ahead journal and is
+    killed hard right after node ``N`` checkpoints; the parent then
+    resumes from the journal and verifies the resumed answer is
+    byte-identical to an uninterrupted reference run while re-executing
+    only the nodes past the last checkpoint.
 ``runtime-stats``
     Run the ETL build and a Luna query through the shared
     :class:`repro.runtime.RequestScheduler` and print its statistics —
@@ -188,6 +193,10 @@ def _print_registry(prefix: str = "") -> None:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.kill_child is not None:
+        return _chaos_kill_child(args)
+    if args.kill_at is not None:
+        return _chaos_recovery_drill(args)
     print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
     scheduler = _make_scheduler(args)
     ctx = _build_context(
@@ -239,6 +248,147 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\ntrace JSON written to {path}")
     scheduler.close()
     return 0
+
+
+def _canonical_answer(result: Any) -> str:
+    """Byte-comparable form of a LunaResult: the answer plus the document
+    provenance, canonically serialized."""
+    import json as json_module
+
+    return json_module.dumps(
+        {
+            "answer": result.answer,
+            "supporting_documents": sorted(result.trace.supporting_documents()),
+        },
+        sort_keys=True,
+        default=repr,
+    )
+
+
+def _chaos_kill_child(args: argparse.Namespace) -> int:
+    """Hidden child mode of the recovery drill: run the query under a
+    write-ahead journal and die hard (``os._exit``) immediately after the
+    requested node's checkpoint reaches disk. Fault injection is off —
+    the drill proves checkpoint/resume identity, and injected faults
+    would shift the backend call schedule between runs."""
+    import os
+
+    from .lifecycle import QueryJournal
+
+    kill_after = args.kill_child
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
+    journal = QueryJournal(args.journal_dir)
+    original = journal.node_complete
+
+    def crashing_node_complete(
+        query_id: str, index: int, operation: str, value: Any
+    ) -> None:
+        original(query_id, index, operation, value)
+        if index >= kill_after:
+            print(
+                f"[child] crash after node {index} ({operation}) checkpointed",
+                flush=True,
+            )
+            os._exit(137)
+
+    journal.node_complete = crashing_node_complete  # type: ignore[method-assign]
+    luna = Luna(ctx, policy=args.policy, error_policy="dead_letter", journal=journal)
+    luna.query(args.question, index=args.dataset, query_id=args.query_id)
+    print("[child] query completed without reaching the kill point", flush=True)
+    scheduler.close()
+    return 3
+
+
+def _chaos_recovery_drill(args: argparse.Namespace) -> int:
+    """Orchestrate the kill/resume proof: reference run, crashed
+    subprocess, journal resume, byte-identity check."""
+    import os
+    import subprocess
+
+    from .lifecycle import QueryJournal
+
+    print(
+        f"chaos recovery drill: kill after node {args.kill_at}, "
+        f"journal at {args.journal_dir}/"
+    )
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    scheduler = _make_scheduler(args)
+    ctx = _build_context(
+        args.dataset, args.docs, args.seed, args.parallelism, scheduler=scheduler
+    )
+    luna = Luna(ctx, policy=args.policy, error_policy="dead_letter")
+    reference = luna.query(args.question, index=args.dataset)
+    ref_bytes = _canonical_answer(reference)
+    total_nodes = reference.trace.nodes_executed
+    print(f"reference run: {total_nodes} node(s), answer: {reference.answer!r}")
+
+    child_cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "chaos",
+        args.question,
+        "--kill-child",
+        str(args.kill_at),
+        "--journal-dir",
+        str(args.journal_dir),
+        "--query-id",
+        args.query_id,
+        "--dataset",
+        args.dataset,
+        "--docs",
+        str(args.docs),
+        "--seed",
+        str(args.seed),
+        "--parallelism",
+        str(args.parallelism),
+        "--policy",
+        args.policy,
+    ]
+    proc = subprocess.run(
+        child_cmd, capture_output=True, text=True, env=dict(os.environ), timeout=600
+    )
+    for line in proc.stdout.splitlines():
+        if line.startswith("[child]"):
+            print(line)
+    if proc.returncode != 137:
+        print(
+            f"drill failed: child exited {proc.returncode}, expected the "
+            f"simulated crash (137)",
+            file=sys.stderr,
+        )
+        if proc.stderr:
+            print(proc.stderr, file=sys.stderr)
+        scheduler.close()
+        return 1
+
+    journal = QueryJournal(args.journal_dir)
+    state = journal.load(args.query_id)
+    print(
+        f"journal: {len(state.completed)} checkpointed node(s), "
+        f"last checkpoint node {state.last_checkpoint}"
+    )
+    resumed_luna = Luna(
+        ctx, policy=args.policy, error_policy="dead_letter", journal=journal
+    )
+    resumed = resumed_luna.resume(args.query_id)
+    res_bytes = _canonical_answer(resumed)
+    identical = res_bytes == ref_bytes
+    print(
+        f"resumed: {resumed.trace.nodes_replayed} node(s) replayed from the "
+        f"journal, {resumed.trace.nodes_executed} re-executed"
+    )
+    print(f"resumed answer: {resumed.answer!r}")
+    print(f"byte-identical to reference: {identical}")
+    if args.trace_json:
+        spans = ctx.tracer.trace_spans(resumed.trace.trace_id)
+        path = write_trace_json(args.trace_json, spans, resumed.trace.cost)
+        print(f"resume trace JSON written to {path}")
+    scheduler.close()
+    return 0 if identical else 1
 
 
 def _cmd_runtime_stats(args: argparse.Namespace) -> int:
@@ -341,7 +491,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:
                 tickets.append(service.submit(question, session=session))
             except Overloaded as exc:
-                print(f"  shed ({exc.reason}): {question}")
+                print(
+                    f"  shed ({exc.reason}, retry after "
+                    f"{exc.retry_after_s:.2f}s): {question}"
+                )
         for ticket in tickets:
             served = ticket.result(timeout=300)
             print(
@@ -555,6 +708,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the chaos query's trace as a JSON document",
+    )
+    chaos.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="NODE",
+        help="crash-recovery drill: kill a subprocess query right after "
+        "this plan node checkpoints, resume from the journal, and "
+        "verify the answer is byte-identical to an uninterrupted run",
+    )
+    chaos.add_argument("--kill-child", type=int, default=None, help=argparse.SUPPRESS)
+    chaos.add_argument(
+        "--journal-dir",
+        default=".repro-journal",
+        help="write-ahead journal directory for the recovery drill",
+    )
+    chaos.add_argument(
+        "--query-id",
+        default="chaos-drill",
+        help="journal query id for the recovery drill",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 

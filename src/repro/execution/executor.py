@@ -17,6 +17,12 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
+from ..lifecycle.deadline import (
+    WAIT_POLL_S,
+    LifecycleError,
+    check_scope,
+    current_scope,
+)
 from ..observability.cost import CostAccount
 from ..observability.metrics import MetricsRegistry, get_registry
 from ..observability.tracing import Span, Tracer
@@ -421,32 +427,45 @@ class Executor:
                     index = submitted
                     submitted += 1
                     inputs[index] = record
+                    # One copied Context per task (a Context cannot be
+                    # entered concurrently); the copy carries the
+                    # transform span — and the query's CancelScope — as
+                    # the worker's ambient state.
                     if span is not None and self.tracer is not None:
-                        # One copied Context per task (a Context cannot be
-                        # entered concurrently); the copy carries the
-                        # transform span as the worker's ambient parent.
                         with self.tracer.attach(span):
                             task_ctx = contextvars.copy_context()
-                        future = pool.submit(
-                            task_ctx.run,
-                            self._apply_with_retry,
-                            node,
-                            record,
-                            node_stats,
-                            stats,
-                        )
                     else:
-                        future = pool.submit(
-                            self._apply_with_retry, node, record, node_stats, stats
-                        )
+                        task_ctx = contextvars.copy_context()
+                    future = pool.submit(
+                        task_ctx.run,
+                        self._apply_with_retry,
+                        node,
+                        record,
+                        node_stats,
+                        stats,
+                    )
                     future.index = index  # type: ignore[attr-defined]
                     pending.append(future)
                 if pending:
-                    done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+                    # Under a scope, wait in slices so cancellation and
+                    # deadline expiry interrupt the gather promptly even
+                    # when no task finishes.
+                    slice_s = None if current_scope() is None else WAIT_POLL_S
+                    done, still_pending = wait(
+                        pending, timeout=slice_s, return_when=FIRST_COMPLETED
+                    )
                     pending = list(still_pending)
+                    if not done:
+                        try:
+                            check_scope()
+                        except BaseException:
+                            for other in pending:
+                                other.cancel()
+                            raise
                     for future in done:
                         try:
-                            results[future.index] = future.result()  # type: ignore[attr-defined]
+                            # Already resolved (came out of wait()'s done set).
+                            results[future.index] = future.result()  # type: ignore[attr-defined]  # repro: lint-ignore[timeout-not-propagated]
                         except BaseException:
                             # Abort: don't leave queued work running after
                             # the node is already dead.
@@ -476,8 +495,16 @@ class Executor:
         attempts = retries + 1
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
+            # Record boundaries are cooperative checkpoints, and an
+            # expired/cancelled query must not burn retries.
+            check_scope()
             try:
                 return node.fn(record)
+            except LifecycleError:
+                # Deadline expiry and cancellation are query-level
+                # verdicts, not task failures: never retried, skipped,
+                # or dead-lettered.
+                raise
             except Exception as exc:  # noqa: BLE001 - contain any task failure
                 last_error = exc
                 # Only an attempt that will actually be re-tried counts as

@@ -1,0 +1,51 @@
+"""Query lifecycle: end-to-end deadlines, cooperative cancellation, and
+checkpointed crash recovery.
+
+``deadline`` must be imported before ``journal``: the execution package
+imports lifecycle primitives, and keeping ``deadline`` stdlib-only (with
+``journal`` importing execution by full submodule path) breaks the cycle.
+"""
+
+from .deadline import (
+    WAIT_POLL_S,
+    CancelScope,
+    Deadline,
+    DeadlineExceeded,
+    LifecycleError,
+    QueryCancelled,
+    attach_scope,
+    check_scope,
+    current_scope,
+    effective_timeout,
+    remaining_budget,
+    wait_future,
+)
+from .journal import (
+    JournalError,
+    JournalState,
+    QueryJournal,
+    decode_value,
+    encode_value,
+    plan_json_fingerprint,
+)
+
+__all__ = [
+    "WAIT_POLL_S",
+    "CancelScope",
+    "Deadline",
+    "DeadlineExceeded",
+    "LifecycleError",
+    "QueryCancelled",
+    "attach_scope",
+    "check_scope",
+    "current_scope",
+    "effective_timeout",
+    "remaining_budget",
+    "wait_future",
+    "JournalError",
+    "JournalState",
+    "QueryJournal",
+    "decode_value",
+    "encode_value",
+    "plan_json_fingerprint",
+]

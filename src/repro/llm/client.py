@@ -21,6 +21,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..lifecycle.deadline import check_scope, remaining_budget
 from ..observability.metrics import MetricsRegistry, get_registry
 from ..observability.tracing import Span, Tracer
 from .base import LLMClient, LLMResponse, get_model_spec
@@ -252,6 +253,14 @@ class ReliableLLM(LLMClient):
     request_timeout_s:
         Optional per-request deadline. A backend call whose wall-clock
         duration exceeds it raises :class:`LLMTimeoutError` (retryable).
+    total_timeout_s:
+        Optional *overall* wall-clock budget for one logical request
+        across **all** attempts and backoff sleeps. Without it, the
+        worst case is ``attempts × (request_timeout_s + backoff)`` —
+        per-attempt timeouts silently compound. With it, backoff sleeps
+        are clamped to the remaining budget and a request whose budget
+        is exhausted raises :class:`LLMTimeoutError` instead of starting
+        another attempt (counted separately as ``overall_timeouts``).
     circuit_breaker:
         Optional :class:`CircuitBreaker`. Consecutive backend failures
         open it; while open, calls fail fast with
@@ -287,6 +296,7 @@ class ReliableLLM(LLMClient):
         rate_limiter: Optional[RateLimiter] = None,
         retry_budget: Optional[int] = None,
         request_timeout_s: Optional[float] = None,
+        total_timeout_s: Optional[float] = None,
         circuit_breaker: Optional[CircuitBreaker] = None,
         sleeper: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
@@ -311,6 +321,7 @@ class ReliableLLM(LLMClient):
         self.rate_limiter = rate_limiter or RateLimiter(None)
         self.retry_budget = retry_budget
         self.request_timeout_s = request_timeout_s
+        self.total_timeout_s = total_timeout_s
         self.circuit_breaker = circuit_breaker
         self._sleeper = sleeper
         self._clock = clock
@@ -328,6 +339,7 @@ class ReliableLLM(LLMClient):
         self.cache_misses = 0
         self.cache_evictions = 0
         self.timeouts = 0
+        self.overall_timeouts = 0
         self.budget_exhaustions = 0
         self.tracker = tracker if tracker is not None else getattr(
             backend, "tracker", None
@@ -341,6 +353,7 @@ class ReliableLLM(LLMClient):
         self._m_cache_misses = reg.counter("llm.cache_misses")
         self._m_cache_evictions = reg.counter("llm.cache_evictions")
         self._m_timeouts = reg.counter("llm.timeouts")
+        self._m_overall_timeouts = reg.counter("llm.overall_timeouts")
         self._m_budget_exhaustions = reg.counter("llm.budget_exhaustions")
         self._m_circuit_rejections = reg.counter("llm.circuit_rejections")
         self._m_input_tokens = reg.counter("llm.input_tokens")
@@ -358,6 +371,7 @@ class ReliableLLM(LLMClient):
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
                 "timeouts": self.timeouts,
+                "overall_timeouts": self.overall_timeouts,
                 "budget_exhaustions": self.budget_exhaustions,
             }
         counters["cache_size"] = self.cache_size()
@@ -423,7 +437,14 @@ class ReliableLLM(LLMClient):
 
         last_error: Optional[Exception] = None
         retries_used = 0
+        overall_started = self._clock()
         for attempt in range(self.max_retries + 1):
+            # Cooperative lifecycle checkpoint: a cancelled or expired
+            # query stops retrying here with its typed error instead of
+            # burning the remaining attempts.
+            check_scope()
+            if attempt > 0:
+                self._check_overall(overall_started, last_error)
             self.rate_limiter.acquire()
             if self.circuit_breaker is not None and not self.circuit_breaker.allow():
                 self._m_circuit_rejections.inc()
@@ -444,13 +465,15 @@ class ReliableLLM(LLMClient):
                 self._note_failure()
                 self._spend_retry(exc)
                 retries_used += 1
-                self._sleeper(max(exc.retry_after_s, self._backoff(attempt)))
+                self._sleep_backoff(
+                    max(exc.retry_after_s, self._backoff(attempt)), overall_started
+                )
             except TransientLLMError as exc:
                 last_error = exc
                 self._note_failure()
                 self._spend_retry(exc)
                 retries_used += 1
-                self._sleeper(self._backoff(attempt))
+                self._sleep_backoff(self._backoff(attempt), overall_started)
             else:
                 if self.circuit_breaker is not None:
                     self.circuit_breaker.record_success()
@@ -629,6 +652,40 @@ class ReliableLLM(LLMClient):
                 f"request took {elapsed:.3f}s (deadline {self.request_timeout_s}s)",
                 timeout_s=self.request_timeout_s,
             )
+
+    def _overall_remaining(self, overall_started: float) -> Optional[float]:
+        """Wall-clock budget left for this logical request (all attempts)."""
+        if self.total_timeout_s is None:
+            return None
+        return self.total_timeout_s - (self._clock() - overall_started)
+
+    def _check_overall(
+        self, overall_started: float, cause: Optional[Exception]
+    ) -> None:
+        """Refuse to start another attempt past the overall budget."""
+        remaining = self._overall_remaining(overall_started)
+        if remaining is not None and remaining <= 0:
+            with self._counter_lock:
+                self.overall_timeouts += 1
+            self._m_overall_timeouts.inc()
+            elapsed = self._clock() - overall_started
+            raise LLMTimeoutError(
+                f"overall budget of {self.total_timeout_s}s exhausted "
+                f"({elapsed:.3f}s across attempts)",
+                timeout_s=float(self.total_timeout_s or 0.0),
+            ) from cause
+
+    def _sleep_backoff(self, delay: float, overall_started: float) -> None:
+        """Backoff clamped so sleeps never outlive the overall budget or
+        the ambient query deadline (the compounding-timeout fix)."""
+        remaining = self._overall_remaining(overall_started)
+        if remaining is not None:
+            delay = min(delay, max(remaining, 0.0))
+        budget = remaining_budget()
+        if budget is not None:
+            delay = min(delay, budget)
+        if delay > 0:
+            self._sleeper(delay)
 
     def _note_failure(self) -> None:
         if self.circuit_breaker is not None:

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..docmodel.document import Document
 from ..execution.plan import Plan
+from ..lifecycle.deadline import DeadlineExceeded, QueryCancelled, check_scope
 from ..observability.cost import CostAccount
 from ..runtime import Priority
 from ..sycamore import aggregates
@@ -59,6 +60,9 @@ class TraceEntry:
     #: Set when the whole operator failed and was degraded instead of
     #: aborting the query (non-fatal error policies).
     error: Optional[str] = None
+    #: True when this node's output came from a durable journal checkpoint
+    #: instead of being re-executed (crash recovery).
+    replayed: bool = False
 
     def render(self) -> str:
         """Render a human-readable text view."""
@@ -68,6 +72,8 @@ class TraceEntry:
             f"time={self.duration_s:.3f}s llm_calls={self.llm_calls} "
             f"cost=${self.llm_cost_usd:.4f} -> {self.result_preview}"
         )
+        if self.replayed:
+            line += " [REPLAYED]"
         if self.dead_lettered or self.skipped:
             line += f" [dropped: dead_lettered={self.dead_lettered} skipped={self.skipped}]"
         if self.error:
@@ -92,6 +98,10 @@ class ExecutionTrace:
     #: Span-derived per-operator cost rollup (tokens, dollars, retries,
     #: cache/dedup savings). Same arithmetic as the JSON trace export.
     cost: Optional[CostAccount] = None
+    #: Nodes freshly executed this run vs. replayed from a journal
+    #: checkpoint — the counters the chaos-recovery gate asserts on.
+    nodes_executed: int = 0
+    nodes_replayed: int = 0
 
     def render(self) -> str:
         """Render a human-readable text view."""
@@ -148,13 +158,32 @@ class LunaExecutor:
         self.error_policy = error_policy
         self._last_plan_stats = None
 
-    def execute(self, plan: LogicalPlan) -> "tuple[Any, ExecutionTrace]":
+    def execute(
+        self,
+        plan: LogicalPlan,
+        completed: Optional[Dict[int, Any]] = None,
+        journal_writer: Optional[Callable[[int, str, Any], None]] = None,
+    ) -> "tuple[Any, ExecutionTrace]":
         """Run the plan; returns (final answer, trace).
 
         Under a non-fatal ``error_policy``, operator failures degrade —
         the node's input passes through (or an empty document set when it
         has none), the error is recorded on the trace, and the trace is
         flagged partial — rather than raising :class:`PlanExecutionError`.
+
+        Lifecycle semantics: every node boundary is a cooperative
+        checkpoint. :class:`QueryCancelled` is always fatal (cancellation
+        never degrades to a partial answer); :class:`DeadlineExceeded`
+        degrades under a non-fatal policy — the expired node and every
+        node after it pass their input through without touching the LLM,
+        so the query lands within one operator of its budget with a
+        typed partial result.
+
+        Crash recovery: ``completed`` maps node index -> journaled output;
+        those nodes are *replayed* (zero duration, zero spend) instead of
+        re-executed. ``journal_writer(index, operation, output)`` is
+        called after each cleanly executed node — degraded nodes are
+        deliberately not checkpointed, so a resume re-executes them.
         """
         # Structural gate (no schema: execution has no index context):
         # malformed plans fail before the first operator runs, with the
@@ -169,6 +198,26 @@ class LunaExecutor:
         trace = ExecutionTrace()
         for index, node in enumerate(plan.nodes):
             inputs = [results[i] for i in node.inputs]
+            if completed is not None and index in completed:
+                output = completed[index]
+                results[index] = output
+                trace.nodes_replayed += 1
+                trace.entries.append(
+                    TraceEntry(
+                        index=index,
+                        operation=node.operation,
+                        description=node.description,
+                        records_in=_count_records(inputs[0]) if inputs else 0,
+                        records_out=_count_records(output),
+                        duration_s=0.0,
+                        llm_cost_usd=0.0,
+                        llm_calls=0,
+                        result_preview=_preview(output),
+                        document_ids=_document_ids(output),
+                        replayed=True,
+                    )
+                )
+                continue
             before = self.context.cost_tracker.summary()
             start = time.perf_counter()
             self._last_plan_stats = None
@@ -186,11 +235,35 @@ class LunaExecutor:
                 )
                 trace.trace_id = trace.trace_id or op_span.trace_id
             try:
+                check_scope()
                 if op_span is not None:
                     with tracer.attach(op_span):
                         output = self._run_node(node, inputs, results)
                 else:
                     output = self._run_node(node, inputs, results)
+            except QueryCancelled as exc:
+                # Cancellation never degrades: the submitter walked away,
+                # a partial answer has no audience.
+                if op_span is not None:
+                    tracer.finish(
+                        op_span, status="error", error=f"QueryCancelled: {exc}"
+                    )
+                raise
+            except DeadlineExceeded as exc:
+                if fatal:
+                    if op_span is not None:
+                        tracer.finish(
+                            op_span,
+                            status="error",
+                            error=f"DeadlineExceeded: {exc}",
+                        )
+                    raise
+                # Budget exhausted: this node (and, via the checkpoint at
+                # the top of the loop, every later node) degrades to a
+                # pass-through so the query lands promptly with a typed
+                # partial result.
+                error = f"DeadlineExceeded: {exc}"
+                output = inputs[0] if inputs else []
             except (PlanValidationError, mathops.MathEvaluationError) as exc:
                 if fatal:
                     if op_span is not None:
@@ -228,6 +301,9 @@ class LunaExecutor:
                     error=error,
                 )
             results[index] = output
+            trace.nodes_executed += 1
+            if journal_writer is not None and error is None:
+                journal_writer(index, node.operation, output)
             dead_lettered, skipped = self._drain_plan_stats()
             if error is not None:
                 trace.errors.append(f"node {index} ({node.operation}): {error}")

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..analysis.plancheck import ensure_valid_plan
+from ..lifecycle.journal import JournalError, QueryJournal, plan_json_fingerprint
 from ..observability.cost import CostAccount
 from ..sycamore.context import SycamoreContext
 from .codegen import generate_code
@@ -98,8 +99,13 @@ class Luna:
         planner_model: str = "sim-large",
         policy: "OptimizerPolicy | str" = BALANCED_POLICY,
         error_policy: str = "fail",
+        journal: Optional[QueryJournal] = None,
     ):
         self.context = context
+        # Optional write-ahead journal: queries submitted with a
+        # ``query_id`` checkpoint per-node outputs durably, and
+        # :meth:`resume` can pick a crashed query back up.
+        self.journal = journal
         # Planning is the most latency-sensitive traffic in the system (a
         # user is staring at the prompt): submit it at INTERACTIVE
         # priority when the context routes through a scheduler.
@@ -124,6 +130,7 @@ class Luna:
         question: str,
         index: str,
         secondary_indexes: "tuple | list" = (),
+        query_id: str = "",
     ) -> LunaResult:
         """Plan, optimize and execute a natural-language question.
 
@@ -131,9 +138,12 @@ class Luna:
         planner may join against — the data-integration pattern of §1
         ("the competitive information may involve a lookup in a
         database").
+
+        ``query_id`` (with a journal-equipped Luna) turns on per-node
+        checkpointing so the query can be :meth:`resume`-d after a crash.
         """
         session = self.session(question, index, secondary_indexes)
-        return session.run()
+        return session.run(query_id=query_id)
 
     def session(
         self,
@@ -186,13 +196,25 @@ class Luna:
         plan.validate()
         return self.execute_plan(question, index, plan)
 
-    def execute_plan(self, question: str, index: str, plan: LogicalPlan) -> LunaResult:
+    def execute_plan(
+        self,
+        question: str,
+        index: str,
+        plan: LogicalPlan,
+        query_id: str = "",
+    ) -> LunaResult:
         """Optimize and execute an explicit plan (bypassing the planner).
 
         With a traced context, the whole execution becomes one span tree
         rooted at a ``query`` span (each query is its own trace), and the
         resulting :class:`ExecutionTrace` carries the ``trace_id`` and a
         span-derived :class:`~repro.observability.CostAccount`.
+
+        With a journal and a ``query_id``, the *optimized* plan is logged
+        before execution and every node output is durably checkpointed —
+        the begin record stores the post-optimizer plan precisely so that
+        :meth:`resume` can skip planner and optimizer entirely and replay
+        against the exact DAG the crashed run was executing.
         """
         named_index = self.context.catalog.get(index)
         # Static plan checks gate *every* execution path — planner
@@ -212,7 +234,8 @@ class Luna:
         if tracer is None:
             optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
             code = generate_code(optimized)
-            answer, trace = self.executor.execute(optimized)
+            writer = self._journal_begin(query_id, question, index, optimized)
+            answer, trace = self.executor.execute(optimized, journal_writer=writer)
         else:
             # Ambient-parented: standalone queries root their own trace
             # (the historical behaviour); queries run under the serving
@@ -230,7 +253,12 @@ class Luna:
                             plan, schema=named_index.schema
                         )
                         code = generate_code(optimized)
-                    answer, trace = self.executor.execute(optimized)
+                    writer = self._journal_begin(
+                        query_id, question, index, optimized
+                    )
+                    answer, trace = self.executor.execute(
+                        optimized, journal_writer=writer
+                    )
             except BaseException as exc:
                 tracer.finish(
                     query_span,
@@ -247,12 +275,117 @@ class Luna:
             # has no duration yet; the query span's own wall time is the
             # honest figure either way.
             trace.cost.wall_clock_s = query_span.duration_s
+        if self.journal is not None and query_id:
+            self.journal.commit(query_id, answer)
         result = LunaResult(
             question=question,
             index=index,
             plan=plan,
             optimized_plan=optimized,
             optimization_log=log,
+            code=code,
+            answer=answer,
+            trace=trace,
+            partial=trace.partial,
+        )
+        self.history.record(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def _journal_begin(self, query_id, question, index, optimized):
+        """Open the write-ahead log for this execution (no-op without a
+        journal or a query id); returns the per-node checkpoint writer."""
+        if self.journal is None or not query_id:
+            return None
+        journal = self.journal
+        journal.begin(
+            query_id,
+            question=question,
+            index=index,
+            plan_json=optimized.to_json(),
+            error_policy=self.executor.error_policy,
+        )
+        return lambda i, op, value: journal.node_complete(query_id, i, op, value)
+
+    def resume(self, query_id: str) -> LunaResult:
+        """Resume a journaled query in a fresh process after a crash.
+
+        The journal stores the *optimized* plan, so resume skips planner
+        and optimizer entirely: the exact DAG the crashed run was
+        executing is re-hydrated (validated against the journaled
+        fingerprint), checkpointed nodes are replayed from their durable
+        outputs, and only nodes past the last checkpoint re-execute.
+        Over a deterministic context this makes the resumed answer
+        byte-identical to an uninterrupted run.
+        """
+        if self.journal is None:
+            raise ValueError(
+                "this Luna has no journal; construct with journal= to resume"
+            )
+        journal = self.journal
+        state = journal.load(query_id)
+        optimized = LogicalPlan.from_json(state.plan_json)
+        rehydrated = plan_json_fingerprint(optimized.to_json())
+        if rehydrated != state.fingerprint:
+            raise JournalError(
+                f"journaled plan for {query_id!r} does not survive the "
+                f"round-trip: fingerprint {rehydrated} != {state.fingerprint}"
+            )
+        code = generate_code(optimized)
+        writer = lambda i, op, value: journal.node_complete(query_id, i, op, value)  # noqa: E731
+        tracer = getattr(self.context, "tracer", None)
+        if tracer is None:
+            answer, trace = self.executor.execute(
+                optimized, completed=state.completed, journal_writer=writer
+            )
+        else:
+            query_span = tracer.start_span(
+                "query:luna",
+                kind="query",
+                question=state.question,
+                index=state.index,
+                resumed=True,
+            )
+            try:
+                with tracer.attach(query_span):
+                    answer, trace = self.executor.execute(
+                        optimized,
+                        completed=state.completed,
+                        journal_writer=writer,
+                    )
+            except BaseException as exc:
+                tracer.finish(
+                    query_span,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            tracer.finish(query_span)
+            trace.trace_id = query_span.trace_id
+            trace.cost = CostAccount.from_spans(
+                tracer.trace_spans(query_span.trace_id)
+            )
+            trace.cost.wall_clock_s = query_span.duration_s
+        journal.commit(query_id, answer)
+        journal.registry.counter("lifecycle.resumes").inc()
+        journal.registry.counter("lifecycle.nodes_replayed").inc(
+            trace.nodes_replayed
+        )
+        journal.registry.counter("lifecycle.nodes_reexecuted").inc(
+            trace.nodes_executed
+        )
+        result = LunaResult(
+            question=state.question,
+            index=state.index,
+            plan=optimized,
+            optimized_plan=optimized,
+            optimization_log=[
+                f"resumed from journal checkpoint: {trace.nodes_replayed} "
+                f"node(s) replayed, {trace.nodes_executed} re-executed"
+            ],
             code=code,
             answer=answer,
             trace=trace,
@@ -306,10 +439,12 @@ class LunaSession:
         )
         return self
 
-    def run(self) -> LunaResult:
+    def run(self, query_id: str = "") -> LunaResult:
         """Execute the (possibly edited) plan and return the result."""
         self.plan.validate()
-        return self.luna.execute_plan(self.question, self.index, self.plan)
+        return self.luna.execute_plan(
+            self.question, self.index, self.plan, query_id=query_id
+        )
 
     def _node(self, node_index: int) -> PlanNode:
         if not 0 <= node_index < len(self.plan.nodes):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from ..lifecycle.deadline import wait_future
 from ..llm.base import LLMClient, LLMResponse
 from ..llm.client import repair_json
 from ..llm.errors import MalformedOutputError
@@ -120,7 +121,10 @@ class ScheduledLLM(LLMClient):
         results: List[Any] = []
         for future in futures:
             try:
-                results.append(future.result(timeout=self.request_timeout_s))
+                # Scope-aware gather: a cancelled/expired query stops
+                # waiting here with its typed error instead of riding
+                # shared futures to completion.
+                results.append(wait_future(future, timeout=self.request_timeout_s))
             except Exception as exc:  # noqa: BLE001 - isolate per request
                 if not return_exceptions:
                     raise

@@ -43,6 +43,13 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from ..lifecycle.deadline import (
+    CancelScope,
+    DeadlineExceeded,
+    QueryCancelled,
+    current_scope,
+    wait_future,
+)
 from ..llm.base import LLMClient, LLMResponse, get_model_spec
 from ..observability.metrics import MetricsRegistry, get_registry
 from ..observability.tracing import Span, Tracer
@@ -108,6 +115,10 @@ class LLMRequest:
     #: Trace span opened at submission (under the submitter's context)
     #: and finished when the future resolves; None when untraced.
     span: Optional[Span] = None
+    #: The submitting query's lifecycle scope, captured at admission.
+    #: Cancelled or deadline-expired entries are purged (typed failure)
+    #: at batch-formation time instead of being dispatched.
+    scope: Optional[CancelScope] = None
 
     @property
     def batchable(self) -> bool:
@@ -384,6 +395,7 @@ class RequestScheduler:
             enqueued_at=self._clock(),
             key=key,
             span=span,
+            scope=current_scope(),
         )
         if key is not None:
             self._inflight[key] = future
@@ -416,7 +428,8 @@ class RequestScheduler:
         result: "LLMResponse | BaseException"
         if isinstance(resolved, Future):
             exc = resolved.exception()
-            result = exc if exc is not None else resolved.result()
+            # Callers only pass resolved futures (exception() returned).
+            result = exc if exc is not None else resolved.result()  # repro: lint-ignore[timeout-not-propagated]
         else:
             result = resolved
         if batch_span_id is not None:
@@ -454,14 +467,20 @@ class RequestScheduler:
         priority: "Priority | int | str" = Priority.BULK,
         timeout: Optional[float] = None,
     ) -> LLMResponse:
-        """Submit and block for the response (convenience wrapper)."""
-        return self.submit(
+        """Submit and block for the response (convenience wrapper).
+
+        The wait is scope-aware: a caller running under a lifecycle
+        scope observes its own cancellation/deadline while blocked, even
+        when the future is shared with other submitters via dedup.
+        """
+        future = self.submit(
             prompt,
             model=model,
             max_output_tokens=max_output_tokens,
             temperature=temperature,
             priority=priority,
-        ).result(timeout=timeout)
+        )
+        return wait_future(future, timeout=timeout)
 
     # ------------------------------------------------------------------
     # Observability
@@ -549,13 +568,23 @@ class RequestScheduler:
             # task (on a pool thread), so no try/finally can pair with
             # this acquire.
             self._dispatch_slots.acquire()  # repro: lint-ignore[bare-lock-acquire]
+            purged: List[Tuple[LLMRequest, Exception]] = []
             with self._cond:
                 while not self._closed and self._total_depth() == 0:
-                    self._cond.wait()
+                    # Heartbeat timeout: close() notifies, but a bounded
+                    # wait also guards against a lost wakeup leaving the
+                    # worker parked forever.
+                    self._cond.wait(timeout=0.5)
                 if self._total_depth() == 0:  # closed and empty: done
                     self._dispatch_slots.release()
                     return
-                batch = self._form_batch_locked()
+                batch = self._form_batch_locked(purged)
+            self._fail_purged(purged)
+            if not batch:
+                # Everything poppable was cancelled/expired; the slot
+                # goes back and the loop re-evaluates the queues.
+                self._dispatch_slots.release()
+                continue
             try:
                 dispatched = self._dispatch_pool.submit(self._dispatch, batch)
             except RuntimeError:  # pool torn down mid-close
@@ -588,18 +617,29 @@ class RequestScheduler:
             return Priority.BULK
         return Priority.INTERACTIVE
 
-    def _form_batch_locked(self) -> List[LLMRequest]:
+    def _form_batch_locked(
+        self, purged: List[Tuple[LLMRequest, Exception]]
+    ) -> List[LLMRequest]:
         priority = self._pick_priority_locked()
         if priority == Priority.INTERACTIVE:
             self._consecutive_interactive += 1
         queue = self._queues[priority]
-        head = queue.popleft()
+        head = self._pop_live_locked(queue, purged)
+        if head is None:
+            return []
         batch = [head]
         if not head.batchable or self.max_batch_size == 1:
             return batch
         deadline = head.enqueued_at + self.max_wait_ms / 1000.0
+        if head.scope is not None:
+            # The micro-batch window never outlives the head's remaining
+            # budget: a nearly-expired query dispatches immediately
+            # instead of waiting for batch mates it cannot afford.
+            remaining_budget = head.scope.remaining()
+            if remaining_budget is not None:
+                deadline = min(deadline, self._clock() + remaining_budget)
         while len(batch) < self.max_batch_size:
-            self._take_compatible_locked(queue, head, batch)
+            self._take_compatible_locked(queue, head, batch, purged)
             if len(batch) >= self.max_batch_size or self._closed:
                 break
             remaining = deadline - self._clock()
@@ -607,6 +647,72 @@ class RequestScheduler:
                 break
             self._cond.wait(timeout=remaining)
         return batch
+
+    def _lifecycle_error_for(self, request: LLMRequest) -> Optional[Exception]:
+        """The typed failure a queued request has already earned (its
+        scope was cancelled or its deadline expired), or None."""
+        scope = request.scope
+        if scope is None:
+            return None
+        if scope.cancelled:
+            return QueryCancelled(
+                "request cancelled while queued",
+                query_id=scope.query_id,
+                reason=scope.cancel_reason,
+            )
+        if scope.deadline is not None and scope.deadline.expired:
+            deadline = scope.deadline
+            return DeadlineExceeded(
+                f"request queued past its deadline of {deadline.budget_s:.3f}s",
+                budget_s=deadline.budget_s,
+                elapsed_s=deadline.elapsed(),
+            )
+        return None
+
+    def _pop_live_locked(
+        self,
+        queue: Deque[LLMRequest],
+        purged: List[Tuple[LLMRequest, Exception]],
+    ) -> Optional[LLMRequest]:
+        """Pop the next request whose query is still alive; cancelled or
+        expired entries are purged lazily here (their futures are failed
+        by the caller once the lock is released)."""
+        while queue:
+            request = queue.popleft()
+            error = self._lifecycle_error_for(request)
+            if error is None:
+                return request
+            self._purge_locked(request, error, purged)
+        return None
+
+    def _purge_locked(
+        self,
+        request: LLMRequest,
+        error: Exception,
+        purged: List[Tuple[LLMRequest, Exception]],
+    ) -> None:
+        if request.key is not None:
+            self._inflight.pop(request.key, None)
+        self._stats.cancelled += 1
+        self._m_cancelled.inc()
+        purged.append((request, error))
+
+    def _fail_purged(
+        self, purged: List[Tuple[LLMRequest, Exception]]
+    ) -> None:
+        """Resolve purged futures (outside the lock: done-callbacks run
+        inline on ``set_exception``)."""
+        for request, error in purged:
+            if self.tracer is not None and request.span is not None:
+                self.tracer.finish(
+                    request.span,
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                )
+            try:
+                request.future.set_exception(error)
+            except BaseException:  # caller cancelled the future while queued
+                pass
 
     @staticmethod
     def _compatible(head: LLMRequest, other: LLMRequest) -> bool:
@@ -617,14 +723,22 @@ class RequestScheduler:
         )
 
     def _take_compatible_locked(
-        self, queue: Deque[LLMRequest], head: LLMRequest, batch: List[LLMRequest]
+        self,
+        queue: Deque[LLMRequest],
+        head: LLMRequest,
+        batch: List[LLMRequest],
+        purged: List[Tuple[LLMRequest, Exception]],
     ) -> None:
         """Move queue entries compatible with ``head`` into ``batch``,
-        preserving the relative order of everything left behind."""
+        preserving the relative order of everything left behind.
+        Cancelled/expired entries encountered along the way are purged."""
         kept: List[LLMRequest] = []
         while queue and len(batch) < self.max_batch_size:
             candidate = queue.popleft()
-            if self._compatible(head, candidate):
+            error = self._lifecycle_error_for(candidate)
+            if error is not None:
+                self._purge_locked(candidate, error, purged)
+            elif self._compatible(head, candidate):
                 batch.append(candidate)
             else:
                 kept.append(candidate)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..execution.materialize import stable_fingerprint
 from ..indexes.catalog import NamedIndex
+from ..lifecycle.deadline import current_scope, wait_future
 
 #: Outcomes of :meth:`SingleFlightCache.get_or_compute`.
 HIT = "hit"  #: served from the cache, no work done
@@ -106,49 +107,78 @@ class SingleFlightCache:
         self.misses = 0
         self.coalesced = 0
         self.evictions = 0
+        self.reelections = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def get_or_compute(
-        self, key: Any, compute: Callable[[], Any]
+        self,
+        key: Any,
+        compute: Callable[[], Any],
+        reelect_on: Tuple[type, ...] = (),
     ) -> Tuple[Any, str]:
         """Return the cached value for ``key``, computing it at most once
-        across all concurrent callers."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return self._entries[key], HIT
-            future = self._inflight.get(key)
-            if future is None:
-                future = Future()
-                self._inflight[key] = future
-                leader = True
-            else:
-                self.coalesced += 1
-                leader = False
-        if not leader:
-            # Blocks until the leader resolves; re-raises its exception.
-            return future.result(), COALESCED
-        try:
-            value = compute()
-        except BaseException as exc:
+        across all concurrent callers.
+
+        Followers wait scope-aware: a follower whose *own* lifecycle
+        scope is cancelled or expires detaches with its typed error while
+        the leader keeps computing for everyone else. When the *leader*
+        fails with one of the ``reelect_on`` exception types (e.g. the
+        leader's query was cancelled), surviving followers retry from the
+        top — one of them becomes the new leader — instead of inheriting
+        a failure that says nothing about their own query.
+        """
+        while True:
             with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key], HIT
+                future = self._inflight.get(key)
+                if future is None:
+                    future = Future()
+                    self._inflight[key] = future
+                    leader = True
+                else:
+                    self.coalesced += 1
+                    leader = False
+            if not leader:
+                try:
+                    # Blocks until the leader resolves, re-checking this
+                    # caller's own scope between slices.
+                    return wait_future(future), COALESCED
+                except BaseException as exc:
+                    if not future.done():
+                        # The leader is still running: the failure is this
+                        # follower's own scope tripping. Detach.
+                        raise
+                    if reelect_on and isinstance(exc, reelect_on):
+                        own = current_scope()
+                        if own is not None:
+                            own.check()  # dead followers don't campaign
+                        with self._lock:
+                            self.reelections += 1
+                        continue  # leader died for reasons not ours: re-elect
+                    raise
+            try:
+                value = compute()
+            except BaseException as exc:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                future.set_exception(exc)
+                raise
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
                 self._inflight.pop(key, None)
-            future.set_exception(exc)
-            raise
-        with self._lock:
-            self.misses += 1
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            self._inflight.pop(key, None)
-        future.set_result(value)
-        return value, MISS
+            future.set_result(value)
+            return value, MISS
 
     def peek(self, key: Any) -> Optional[Any]:
         """The cached value without recency update or compute (or None)."""
@@ -175,6 +205,7 @@ class SingleFlightCache:
                 "coalesced": self.coalesced,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "reelections": self.reelections,
                 "hit_rate": round(
                     (self.hits + self.coalesced) / lookups, 4
                 )

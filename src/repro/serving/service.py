@@ -35,6 +35,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.plancheck import ensure_valid_plan
+from ..lifecycle.deadline import (
+    CancelScope,
+    Deadline,
+    DeadlineExceeded,
+    QueryCancelled,
+    attach_scope,
+)
 from ..luna.luna import Luna, LunaResult
 from ..luna.operators import LogicalPlan
 from ..observability.cost import CostAccount
@@ -61,11 +68,16 @@ class Overloaded(ServingError):
 
     ``reason`` is ``"queue_full"`` or ``"tenant_quota"``; callers should
     back off and retry rather than treat this as a query failure.
+    ``retry_after_s`` is a machine-readable backoff hint derived from the
+    current backlog and the service's recent per-query latency.
     """
 
-    def __init__(self, message: str, reason: str, **detail: Any):
+    def __init__(
+        self, message: str, reason: str, retry_after_s: float = 0.0, **detail: Any
+    ):
         super().__init__(message)
         self.reason = reason
+        self.retry_after_s = retry_after_s
         self.detail = detail
 
 
@@ -135,6 +147,9 @@ class ServedResult:
     saved_usd: float
     latency_s: float
     serve_trace_id: str = ""
+    #: True when the query's deadline expired mid-execution and the
+    #: answer was degraded to a typed partial result.
+    deadline_exceeded: bool = False
 
     @property
     def answer(self) -> Any:
@@ -159,6 +174,7 @@ class QueryTicket:
         session: Optional[Session],
         secondary: Tuple[str, ...],
         follow_up: bool,
+        deadline_s: Optional[float] = None,
     ):
         self.query_id = query_id
         self.question = question
@@ -168,11 +184,43 @@ class QueryTicket:
         self.secondary = secondary
         self.follow_up = follow_up
         self.submitted_at = time.monotonic()
+        #: The query's lifecycle scope. The deadline clock starts at
+        #: admission, so queue time counts against the budget.
+        self.scope = CancelScope(
+            deadline=Deadline(deadline_s) if deadline_s is not None else None,
+            query_id=query_id,
+        )
+        self._service: Optional["QueryService"] = None
         from concurrent.futures import Future
 
         self.future: "Future[ServedResult]" = Future()
         self._cond = threading.Condition()
         self._events: List[QueryEvent] = []
+
+    @property
+    def deadline(self) -> Optional[Deadline]:
+        """The end-to-end deadline, when one was requested."""
+        return self.scope.deadline
+
+    def cancel(self, reason: str = "") -> bool:
+        """Cooperatively cancel this query.
+
+        Still-queued queries fail immediately with a typed
+        :class:`~repro.lifecycle.QueryCancelled` and release their
+        admission slot; a running query observes the cancellation at its
+        next checkpoint (operator boundary, record boundary, queue wait,
+        retry sleep). Returns True the first time cancellation is
+        requested.
+        """
+        first = self.scope.cancel(reason)
+        if self._service is not None:
+            self._service._cancel_queued(self, reason)
+        return first
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self.scope.cancelled
 
     @property
     def session_id(self) -> Optional[str]:
@@ -268,6 +316,7 @@ class QueryService:
         self._m_completed = reg.counter("serving.completed")
         self._m_failed = reg.counter("serving.failed")
         self._m_cancelled = reg.counter("serving.cancelled")
+        self._m_deadline_exceeded = reg.counter("serving.deadline_exceeded")
         self._m_plans_computed = reg.counter("serving.plans_computed")
         self._m_executions = reg.counter("serving.executions")
         self._m_plan_hits = reg.counter("serving.plan_cache_hits")
@@ -289,6 +338,8 @@ class QueryService:
         self._query_counter = 0
         self._session_counter = 0
         self._peak_queue_depth = 0
+        #: EMA of recent per-query latency, feeding Overloaded.retry_after_s.
+        self._latency_ema_s = 0.0
         self._luna_local = threading.local()
         self._workers = [
             threading.Thread(
@@ -355,14 +406,20 @@ class QueryService:
         session: Optional[Session] = None,
         secondary: Sequence[str] = (),
         follow_up: bool = False,
+        deadline_s: Optional[float] = None,
     ) -> QueryTicket:
         """Admit one query; returns a ticket whose future resolves to a
         :class:`ServedResult`.
 
         Raises :class:`Overloaded` when the queue or the tenant quota is
-        full (load shedding — retry with backoff), :class:`ServiceClosed`
+        full (load shedding — retry with backoff; ``retry_after_s`` on
+        the exception is a machine-readable hint), :class:`ServiceClosed`
         after shutdown. ``follow_up=True`` plans against the session's
         previous answer's documents and bypasses both caches.
+        ``deadline_s`` is an end-to-end wall-clock budget measured from
+        admission: queue time, planning, and execution all count, and an
+        expired query yields a typed partial result (or a typed
+        :class:`~repro.lifecycle.DeadlineExceeded` if it never started).
         """
         if session is not None:
             tenant = session.tenant
@@ -384,6 +441,7 @@ class QueryService:
                 raise Overloaded(
                     f"queue full ({self.config.max_queue_depth} queries)",
                     reason="queue_full",
+                    retry_after_s=self._retry_after_locked(),
                     queue_depth=len(self._queue),
                 )
             if record.inflight >= record.quota.max_inflight:
@@ -393,6 +451,7 @@ class QueryService:
                     f"tenant {tenant!r} is at its quota "
                     f"({record.quota.max_inflight} inflight queries)",
                     reason="tenant_quota",
+                    retry_after_s=self._retry_after_locked(),
                     tenant=tenant,
                 )
             self._query_counter += 1
@@ -404,7 +463,9 @@ class QueryService:
                 session=session,
                 secondary=tuple(secondary),
                 follow_up=follow_up,
+                deadline_s=deadline_s,
             )
+            ticket._service = self
             record.inflight += 1
             self._queue.append(ticket)
             self._m_admitted.inc()
@@ -425,6 +486,40 @@ class QueryService:
     ) -> ServedResult:
         """Submit and block for the served result (convenience wrapper)."""
         return self.submit(question, index, **kwargs).result(timeout=timeout)
+
+    def _retry_after_locked(self) -> float:
+        """Backoff hint for shed queries: how long until a slot plausibly
+        frees up, from the backlog ahead of the caller and the recent
+        per-query latency EMA (0.5s floor before any query completes).
+        Caller holds ``self._cond``."""
+        backlog = len(self._queue) + self._active
+        per_query = self._latency_ema_s or 0.5
+        return round(max(0.05, backlog * per_query / self.config.max_workers), 3)
+
+    def _cancel_queued(self, ticket: QueryTicket, reason: str) -> None:
+        """Complete a cancelled ticket that is still waiting in the
+        admission queue: remove it, release its slot, fail it typed.
+        Running tickets are untouched — they observe their scope at the
+        next cooperative checkpoint."""
+        removed = False
+        with self._cond:
+            if ticket in self._queue:
+                self._queue.remove(ticket)
+                self._tenants[ticket.tenant].inflight -= 1
+                self._g_queue_depth.set(len(self._queue))
+                removed = True
+                self._cond.notify_all()
+        if removed:
+            self._m_cancelled.inc()
+            ticket._emit("cancelled", reason=reason)
+            ticket.future.set_exception(
+                QueryCancelled(
+                    f"query {ticket.query_id} cancelled before it started"
+                    + (f": {reason}" if reason else ""),
+                    query_id=ticket.query_id,
+                    reason=reason,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Worker side
@@ -447,7 +542,9 @@ class QueryService:
         while True:
             with self._cond:
                 while not self._queue and not self._closed:
-                    self._cond.wait()
+                    # Bounded wait: a missed notify (or a cancellation
+                    # racing shutdown) can't wedge a worker forever.
+                    self._cond.wait(timeout=0.5)
                 if not self._queue:
                     return  # closed and drained
                 ticket = self._queue.pop(0)
@@ -466,6 +563,20 @@ class QueryService:
     def _process(self, ticket: QueryTicket) -> None:
         """Run one admitted query end to end; never raises."""
         started = time.perf_counter()
+        scope = ticket.scope
+        # Pre-start lifecycle check: queue time counts against the
+        # budget, so a query whose deadline expired (or that was
+        # cancelled) while queued fails typed without burning a worker.
+        try:
+            scope.check()
+        except QueryCancelled as exc:
+            self._m_cancelled.inc()
+            ticket._emit("cancelled", reason=scope.cancel_reason)
+            ticket.future.set_exception(exc)
+            return
+        except DeadlineExceeded as exc:
+            self._fail_deadline(ticket, exc)
+            return
         tracer = self.tracer
         serve_span: Optional[Span] = None
         if tracer is not None:
@@ -479,11 +590,12 @@ class QueryService:
                 index=ticket.index,
             )
         try:
-            if tracer is not None and serve_span is not None:
-                with tracer.attach(serve_span):
-                    served = self._serve(ticket, serve_span, started)
-            else:
-                served = self._serve(ticket, None, started)
+            with attach_scope(scope):
+                if tracer is not None and serve_span is not None:
+                    with tracer.attach(serve_span):
+                        served = self._serve(ticket, serve_span, started)
+                else:
+                    served = self._serve(ticket, None, started)
         except BaseException as exc:  # noqa: BLE001 - fail the ticket, not the worker
             if tracer is not None and serve_span is not None:
                 tracer.finish(
@@ -491,12 +603,30 @@ class QueryService:
                     status="error",
                     error=f"{type(exc).__name__}: {exc}",
                 )
+            if isinstance(exc, QueryCancelled):
+                self._m_cancelled.inc()
+                ticket._emit("cancelled", reason=scope.cancel_reason)
+                ticket.future.set_exception(exc)
+                return
+            if isinstance(exc, DeadlineExceeded):
+                self._fail_deadline(ticket, exc)
+                return
             with self._accounts_lock:
                 self.tenant(ticket.tenant).failed += 1
             self._m_failed.inc()
             ticket._emit("failed", error=f"{type(exc).__name__}: {exc}")
             ticket.future.set_exception(exc)
             return
+        # A deadline that expired mid-execution under a non-fatal error
+        # policy degrades operators instead of raising; surface that as a
+        # typed-partial completion so callers and metrics can tell.
+        if any("DeadlineExceeded" in err for err in served.result.trace.errors):
+            served.deadline_exceeded = True
+            self._m_deadline_exceeded.inc()
+            ticket._emit(
+                "deadline_degraded",
+                budget_s=scope.deadline.budget_s if scope.deadline else 0.0,
+            )
         if tracer is not None and serve_span is not None:
             serve_span.set_attributes(
                 plan_cache=served.plan_cache,
@@ -510,6 +640,12 @@ class QueryService:
             self.tenant(ticket.tenant).completed += 1
         self._m_completed.inc()
         self._h_latency.observe(served.latency_s * 1000.0)
+        with self._cond:
+            self._latency_ema_s = (
+                served.latency_s
+                if self._latency_ema_s == 0.0
+                else 0.8 * self._latency_ema_s + 0.2 * served.latency_s
+            )
         if ticket.session is not None:
             preview = repr(served.answer)
             ticket.session.record(
@@ -527,6 +663,23 @@ class QueryService:
             )
         ticket._emit("completed", answer=repr(served.answer)[:64])
         ticket.future.set_result(served)
+
+    def _fail_deadline(self, ticket: QueryTicket, exc: DeadlineExceeded) -> None:
+        """Terminal handling for a query whose budget ran out before any
+        partial answer could be assembled."""
+        if exc.retry_after_s <= 0.0:
+            with self._cond:
+                exc.retry_after_s = self._retry_after_locked()
+        self._m_deadline_exceeded.inc()
+        with self._accounts_lock:
+            self.tenant(ticket.tenant).failed += 1
+        self._m_failed.inc()
+        ticket._emit(
+            "failed",
+            error=f"DeadlineExceeded: {exc}",
+            retry_after_s=exc.retry_after_s,
+        )
+        ticket.future.set_exception(exc)
 
     # ------------------------------------------------------------------
 
@@ -558,8 +711,11 @@ class QueryService:
                 return result
 
             rkey = result_cache_key(ticket.question, index_obj, secondary_objs)
+            # reelect_on: if the single-flight leader's query is
+            # cancelled, surviving followers re-elect a new leader
+            # instead of inheriting a cancellation that isn't theirs.
             result, result_outcome = self.result_cache.get_or_compute(
-                rkey, compute_result
+                rkey, compute_result, reelect_on=(QueryCancelled,)
             )
             if result_outcome == HIT:
                 self._m_result_hits.inc()
@@ -648,7 +804,9 @@ class QueryService:
             )
 
         pkey = plan_cache_key(ticket.question, index_obj, secondary_objs)
-        entry, outcome = self.plan_cache.get_or_compute(pkey, compute_plan)
+        entry, outcome = self.plan_cache.get_or_compute(
+            pkey, compute_plan, reelect_on=(QueryCancelled,)
+        )
         plan_state["outcome"] = outcome
         if outcome == MISS:
             self._m_plan_misses.inc()
@@ -773,6 +931,7 @@ class QueryService:
                     self._g_queue_depth.set(0)
                 self._cond.notify_all()
         for ticket in cancelled:
+            ticket.scope.cancel("service closed")
             ticket._emit("cancelled")
             ticket.future.set_exception(
                 ServiceClosed("service closed before this query started")
@@ -800,6 +959,7 @@ class QueryService:
             "completed": int(self._m_completed.value()),
             "failed": int(self._m_failed.value()),
             "cancelled": int(self._m_cancelled.value()),
+            "deadline_exceeded": int(self._m_deadline_exceeded.value()),
             "queue_depth": queue_depth,
             "peak_queue_depth": peak,
             "active_queries": active,

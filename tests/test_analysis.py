@@ -375,6 +375,55 @@ class TestMetricNameDrift:
         )
 
 
+class TestTimeoutNotPropagated:
+    HOT = "src/repro/serving/x.py"
+
+    def hot_hits(self, source, path=None):
+        return lint_source(
+            textwrap.dedent(source),
+            path=path or self.HOT,
+            rules=["timeout-not-propagated"],
+        )
+
+    def test_future_result_without_timeout_fires(self):
+        found = self.hot_hits("value = future.result()\n")
+        assert len(found) == 1
+        assert "remaining deadline budget" in found[0].message
+
+    def test_future_result_with_timeout_ok(self):
+        assert not self.hot_hits("value = future.result(timeout=remaining)\n")
+        assert not self.hot_hits("value = future.result(5)\n")
+
+    def test_condition_wait_without_timeout_fires(self):
+        found = self.hot_hits("self._cond.wait()\n")
+        assert len(found) == 1
+        assert not self.hot_hits("self._cond.wait(timeout=0.5)\n")
+
+    def test_event_wait_without_timeout_fires(self):
+        assert self.hot_hits("done_event.wait()\n")
+
+    def test_bare_queue_get_fires_but_dict_get_does_not(self):
+        assert self.hot_hits("item = self._queue.get()\n")
+        assert not self.hot_hits("value = mapping.get('key')\n")
+        assert not self.hot_hits("item = self._queue.get(timeout=1.0)\n")
+
+    def test_module_level_wait_function_not_flagged(self):
+        # concurrent.futures.wait is a Name call, not an attribute wait.
+        assert not self.hot_hits("done, pending = wait(futures)\n")
+
+    def test_only_hot_path_packages_are_checked(self):
+        source = "value = future.result()\n"
+        assert not self.hot_hits(source, path="src/repro/luna/luna.py")
+        assert self.hot_hits(source, path="src/repro/runtime/scheduler.py")
+        assert self.hot_hits(source, path="src/repro/execution/executor.py")
+
+    def test_inline_suppression(self):
+        source = (
+            "x = f.result()  # repro: lint-ignore[timeout-not-propagated]\n"
+        )
+        assert not self.hot_hits(source)
+
+
 class TestNaiveWallClock:
     RULE = "naive-wall-clock"
 
@@ -521,6 +570,7 @@ class TestSuppressionsAndBaseline:
             "swallowed-future",
             "metric-name-drift",
             "naive-wall-clock",
+            "timeout-not-propagated",
         }
 
 
