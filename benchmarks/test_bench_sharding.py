@@ -1,0 +1,70 @@
+"""E15 — sharded scatter/gather vs a single-process operator.
+
+The cluster layer's claim (ISSUE 7 / ROADMAP "scale-out execution") is
+that a shared-nothing worker pool runs a per-record LLM operator over a
+large corpus substantially faster than one process — while producing
+**byte-identical** merged output, because shard placement is a pure
+function of document ids and the gather merge reassembles by original
+position.
+
+One workload (an ``LlmExtract`` over 50k generated incident documents),
+two executions of the *same* worker code path
+(:func:`repro.cluster.worker.run_spec_locally`): in-process, and
+scattered over a 4-worker / 8-shard cluster. The simulated LLM really
+sleeps a small fraction of its virtual latency, so the speedup measures
+the overlap a cluster buys on I/O-bound traffic — the same technique
+the serving and scheduler benchmarks use.
+
+Results land in ``BENCH_sharding.json`` at the repo root (uploaded as a
+CI artifact). Gates: the 4-worker cluster must clear 2.5x over single-
+process, the merged output must be byte-identical, and no shard may
+need a retry (fault injection is off).
+"""
+
+import json
+from pathlib import Path
+
+from repro.cluster.bench import render_results, run_sharding_benchmark
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_sharding.json"
+
+N_DOCS = 50_000
+WORKERS = 4
+SHARDS_PER_WORKER = 2
+LATENCY_SCALE = 0.01
+
+
+def test_bench_sharding(benchmark):
+    results = benchmark.pedantic(
+        run_sharding_benchmark,
+        kwargs=dict(
+            n_docs=N_DOCS,
+            workers=WORKERS,
+            shards_per_worker=SHARDS_PER_WORKER,
+            latency_scale=LATENCY_SCALE,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_results(results))
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    single = results["single_process"]
+    sharded = results["sharded"]
+
+    # The gates the issue specifies.
+    assert results["byte_identical"], "sharded merge diverged from local run"
+    assert results["speedup"] >= 2.5
+    # Same traffic on both sides: every document extracted exactly once.
+    assert single["documents_out"] == N_DOCS
+    assert sharded["documents_out"] == N_DOCS
+    assert sharded["llm_calls"] == single["llm_calls"] == N_DOCS
+    # A clean run: all shards complete first try on a healthy pool.
+    assert sharded["shards_completed"] == WORKERS * SHARDS_PER_WORKER
+    assert sharded["shard_retries"] == 0
+    assert sharded["worker_deaths"] == 0
+    assert sharded["workers_alive"] == WORKERS

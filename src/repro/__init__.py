@@ -16,6 +16,9 @@ Layered like the paper's architecture (Figure 1):
   registry, and per-query cost accounting (see docs/ARCHITECTURE.md).
 * :mod:`repro.serving` — the concurrent query-serving layer: admission
   control, tenants/sessions, single-flight plan/result caching.
+* :mod:`repro.cluster` — sharded multi-process execution: deterministic
+  stable-hash partitioning, scatter/gather coordination with shard
+  retry and journal checkpoints, and spill-to-disk document sets.
 * :mod:`repro.rag` — the retrieval-augmented-generation baseline.
 * :mod:`repro.datagen`, :mod:`repro.evaluation` — synthetic corpora and
   the benchmark harnesses.
@@ -62,11 +65,24 @@ from .runtime import Priority, RequestScheduler
 from .serving import QueryService, ServiceConfig
 from .sycamore import DocSet, SycamoreContext
 
+# Imported last: the cluster layer sits atop luna and serving, and the
+# sharded index fan-out sits atop the cluster's placement function.
+from .cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterError,
+    SpillableDocSet,
+)
+from .indexes.sharded import ShardedKeywordIndex, ShardedVectorIndex
+
 __version__ = "0.1.0"
 
 __all__ = [
     "ArynPartitioner",
     "CancelScope",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterError",
     "CostAccount",
     "Deadline",
     "DeadlineExceeded",
@@ -84,7 +100,10 @@ __all__ = [
     "RagPipeline",
     "RequestScheduler",
     "ServiceConfig",
+    "ShardedKeywordIndex",
+    "ShardedVectorIndex",
     "Span",
+    "SpillableDocSet",
     "SycamoreContext",
     "Table",
     "Tracer",

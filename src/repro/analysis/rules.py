@@ -29,9 +29,16 @@ Rule catalog (ids):
 * ``timeout-not-propagated`` — unbounded blocking waits
   (``Future.result()``, ``Queue.get()``, ``Condition.wait()``,
   ``Event.wait()`` with no timeout) inside the hot-path packages
-  (``repro.serving`` / ``repro.runtime`` / ``repro.execution``), where
-  every wait must derive its timeout from the query's remaining
-  deadline budget.
+  (``repro.serving`` / ``repro.runtime`` / ``repro.execution`` /
+  ``repro.cluster``), where every wait must derive its timeout from
+  the query's remaining deadline budget.
+* ``nonpicklable-task-capture`` — a lambda, nested function, or
+  lock-like object passed into a cross-process task envelope
+  (``TaskEnvelope``/``ShardOp``/``ShardPlanSpec``/``WorkerConfig``) or
+  ``.put()`` onto a queue-shaped channel. Such captures either fail to
+  pickle deep inside a queue feeder thread or silently clone state
+  that must not be shared across processes; envelopes carry
+  declarative JSON-able values only (see :mod:`repro.cluster.envelope`).
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ METRIC_NAMESPACES: Tuple[str, ...] = (
     "rag.",
     "analysis.",
     "lifecycle.",
+    "cluster.",
 )
 
 #: Terminal-name heuristic for "this expression is a lock-like object".
@@ -502,7 +510,7 @@ class TimeoutNotPropagated(Rule):
 
     #: Only the packages on a served query's critical path: every wait
     #: there must be bounded by the remaining deadline budget.
-    _HOT_PATHS = ("repro/serving", "repro/runtime", "repro/execution")
+    _HOT_PATHS = ("repro/serving", "repro/runtime", "repro/execution", "repro/cluster")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         normalized = ctx.path.replace("\\", "/")
@@ -582,6 +590,100 @@ def _is_queueish(expr: ast.AST) -> bool:
             name.strip("_").lower(),
         )
     )
+
+
+# ----------------------------------------------------------------------
+# nonpicklable-task-capture
+# ----------------------------------------------------------------------
+
+
+@register
+class NonPicklableTaskCapture(Rule):
+    id = "nonpicklable-task-capture"
+    description = (
+        "A lambda, nested function, or lock-like object handed to a "
+        "cross-process task envelope (or .put() onto a queue) either "
+        "fails to pickle inside a queue feeder thread or clones state "
+        "that must never be shared across processes."
+    )
+
+    #: Constructor names whose instances cross the process boundary.
+    _ENVELOPE_TYPES = {
+        "TaskEnvelope",
+        "ShardOp",
+        "ShardPlanSpec",
+        "WorkerConfig",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                continue
+            nested = {
+                child.name
+                for child in ast.iter_child_nodes(scope)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            } if not isinstance(scope, ast.Module) else set()
+            for call in self._direct_calls(scope):
+                name = _terminal_name(call.func)
+                if name in self._ENVELOPE_TYPES:
+                    yield from self._check_payload(ctx, call, name, nested)
+                elif (
+                    name == "put"
+                    and isinstance(call.func, ast.Attribute)
+                    and _is_queueish(call.func.value)
+                ):
+                    receiver = ast.unparse(call.func.value)
+                    yield from self._check_payload(
+                        ctx, call, f"{receiver}.put", nested
+                    )
+
+    @staticmethod
+    def _direct_calls(scope: ast.AST) -> Iterator[ast.Call]:
+        """Calls in this scope, not descending into nested functions
+        (each nested def is visited as its own scope with its own set
+        of sibling closures)."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_payload(
+        self, ctx: FileContext, call: ast.Call, target: str, nested: Set[str]
+    ) -> Iterator[Finding]:
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            for inner in ast.walk(value):
+                if isinstance(inner, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"lambda captured in {target}(...): lambdas do not "
+                        f"pickle across the process boundary",
+                    )
+                elif isinstance(inner, ast.Name) and inner.id in nested:
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"nested function {inner.id!r} captured in "
+                        f"{target}(...): closures do not pickle across "
+                        f"the process boundary",
+                    )
+                elif (
+                    isinstance(inner, (ast.Name, ast.Attribute))
+                    and _is_lockish(inner)
+                ):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"lock-like object '{ast.unparse(inner)}' captured "
+                        f"in {target}(...): synchronization primitives must "
+                        f"not cross the process boundary",
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -23,7 +23,21 @@ Commands
     killed hard right after node ``N`` checkpoints; the parent then
     resumes from the journal and verifies the resumed answer is
     byte-identical to an uninterrupted reference run while re-executing
-    only the nodes past the last checkpoint.
+    only the nodes past the last checkpoint. ``--workers N`` switches to
+    the worker-kill drill: the query runs on an ``N``-worker cluster
+    whose first shard is poisoned so its worker process dies mid-shard;
+    the coordinator detects the death, retries the shard on a live peer,
+    and the drill verifies the answer is byte-identical to a clean
+    cluster run.
+``cluster-stats``
+    Run a query with a :class:`repro.cluster.ClusterCoordinator`
+    attached to the context — so shardable LLM operators scatter across
+    worker processes — and print the coordinator's shard/worker counters
+    plus the ``cluster.*`` metrics registry.
+``bench-shard``
+    Run the sharding benchmark (single-process operator vs a 4-worker
+    scatter/gather over the same corpus, byte-identity checked) and
+    optionally write ``BENCH_sharding.json``.
 ``runtime-stats``
     Run the ETL build and a Luna query through the shared
     :class:`repro.runtime.RequestScheduler` and print its statistics —
@@ -197,6 +211,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _chaos_kill_child(args)
     if args.kill_at is not None:
         return _chaos_recovery_drill(args)
+    if args.workers is not None:
+        return _chaos_worker_kill_drill(args)
     print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
     scheduler = _make_scheduler(args)
     ctx = _build_context(
@@ -389,6 +405,134 @@ def _chaos_recovery_drill(args: argparse.Namespace) -> int:
         print(f"resume trace JSON written to {path}")
     scheduler.close()
     return 0 if identical else 1
+
+
+def _chaos_worker_kill_drill(args: argparse.Namespace) -> int:
+    """The cluster chaos drill: kill a worker process mid-shard and prove
+    the coordinator's death detection + peer retry keeps the answer
+    byte-identical to a clean cluster run."""
+    from .cluster import ClusterConfig, ClusterCoordinator
+
+    print(
+        f"chaos worker-kill drill: {args.workers} workers, shard 0 poisoned "
+        f"so its worker dies mid-shard..."
+    )
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    luna = Luna(ctx, policy=args.policy, error_policy="dead_letter")
+
+    reference_config = ClusterConfig(n_workers=args.workers, seed=args.seed)
+    with ClusterCoordinator(
+        reference_config, tracer=ctx.tracer, registry=ctx.registry
+    ) as reference_cluster:
+        ctx.cluster = reference_cluster
+        reference = luna.query(args.question, index=args.dataset)
+    ref_bytes = _canonical_answer(reference)
+    print(f"reference cluster run: answer {reference.answer!r}")
+
+    chaos_config = ClusterConfig(
+        n_workers=args.workers, seed=args.seed, chaos_kill_shard=0
+    )
+    with ClusterCoordinator(
+        chaos_config, tracer=ctx.tracer, registry=ctx.registry
+    ) as chaos_cluster:
+        ctx.cluster = chaos_cluster
+        result = luna.query(args.question, index=args.dataset)
+        stats = chaos_cluster.stats()
+    ctx.cluster = None
+    res_bytes = _canonical_answer(result)
+    identical = res_bytes == ref_bytes
+
+    print(f"chaos run answer: {result.answer!r}")
+    print(
+        f"worker deaths: {stats['worker_deaths']}  "
+        f"shard retries: {stats['shards']['retried']}  "
+        f"shards completed: {stats['shards']['completed']}  "
+        f"workers alive after heal: {stats['workers']['alive']}"
+        f"/{stats['workers']['configured']}"
+    )
+    print(f"byte-identical to clean run: {identical}")
+    print("\nmetrics registry (cluster):")
+    _print_registry("cluster.")
+    if args.trace_json:
+        spans = ctx.tracer.trace_spans(result.trace.trace_id)
+        path = write_trace_json(args.trace_json, spans, result.trace.cost)
+        print(f"\ntrace JSON written to {path}")
+    survived = identical and stats["worker_deaths"] >= 1
+    if stats["worker_deaths"] < 1:
+        print("drill failed: no worker death was observed", file=sys.stderr)
+    return 0 if survived else 1
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig, ClusterCoordinator
+
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    config = ClusterConfig(
+        n_workers=args.workers,
+        shards_per_worker=args.shards_per_worker,
+        seed=args.seed,
+    )
+    with ClusterCoordinator(
+        config, tracer=ctx.tracer, registry=ctx.registry
+    ) as cluster:
+        ctx.cluster = cluster
+        luna = Luna(ctx, policy=args.policy)
+        result = luna.query(args.question, index=args.dataset)
+        stats = cluster.stats()
+    ctx.cluster = None
+    print(f"\nanswer: {result.answer}")
+    print(
+        f"(LLM calls: {result.trace.total_llm_calls()}, "
+        f"cost: ${result.trace.total_cost_usd():.4f})"
+    )
+    print(
+        f"\ncluster: {stats['workers']['alive']}/{stats['workers']['configured']} "
+        f"workers alive, {stats['shards']['per_segment']} shards per segment"
+    )
+    print(
+        f"  segments: {stats['segments']}  "
+        f"shards completed: {stats['shards']['completed']}  "
+        f"reused: {stats['shards']['reused']}  "
+        f"retried: {stats['shards']['retried']}  "
+        f"worker deaths: {stats['worker_deaths']}"
+    )
+    tenant = stats["tenant"]
+    print(
+        f"  admission: {tenant['submitted']} segment(s) admitted, "
+        f"{tenant['rejected']} shed (cluster_busy)"
+    )
+    print("\nmetrics registry (cluster):")
+    _print_registry("cluster.")
+    return 0
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .cluster.bench import render_results, run_sharding_benchmark
+
+    print(
+        f"sharding benchmark: {args.docs} docs, {args.workers} workers x "
+        f"{args.shards_per_worker} shards/worker "
+        f"(latency scale {args.latency_scale})..."
+    )
+    results = run_sharding_benchmark(
+        n_docs=args.docs,
+        workers=args.workers,
+        shards_per_worker=args.shards_per_worker,
+        latency_scale=args.latency_scale,
+        seed=args.seed,
+    )
+    print()
+    print(render_results(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"\nresults written to {args.json}")
+    return 0 if results["byte_identical"] else 1
 
 
 def _cmd_runtime_stats(args: argparse.Namespace) -> int:
@@ -718,6 +862,15 @@ def build_parser() -> argparse.ArgumentParser:
         "this plan node checkpoints, resume from the journal, and "
         "verify the answer is byte-identical to an uninterrupted run",
     )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-kill drill: run the query on an N-worker cluster with "
+        "shard 0 poisoned so its worker dies mid-shard, and verify the "
+        "retried answer is byte-identical to a clean cluster run",
+    )
     chaos.add_argument("--kill-child", type=int, default=None, help=argparse.SUPPRESS)
     chaos.add_argument(
         "--journal-dir",
@@ -844,6 +997,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the results JSON (e.g. BENCH_serving.json)",
     )
     bench_serve.set_defaults(handler=_cmd_bench_serve)
+
+    cluster_stats = sub.add_parser(
+        "cluster-stats",
+        help="run a query over a worker cluster and report shard/worker stats",
+    )
+    common(cluster_stats)
+    cluster_stats.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    cluster_stats.add_argument(
+        "--dataset", choices=("ntsb", "earnings"), default="ntsb"
+    )
+    cluster_stats.add_argument(
+        "--workers", type=int, default=2, help="cluster worker processes"
+    )
+    cluster_stats.add_argument(
+        "--shards-per-worker", type=int, default=2, help="shards per worker"
+    )
+    cluster_stats.set_defaults(handler=_cmd_cluster_stats)
+
+    bench_shard = sub.add_parser(
+        "bench-shard",
+        help="benchmark sharded scatter/gather vs a single-process operator",
+    )
+    bench_shard.add_argument("--seed", type=int, default=0)
+    bench_shard.add_argument(
+        "--docs", type=int, default=5000, help="benchmark corpus size"
+    )
+    bench_shard.add_argument("--workers", type=int, default=4)
+    bench_shard.add_argument("--shards-per-worker", type=int, default=2)
+    bench_shard.add_argument(
+        "--latency-scale",
+        type=float,
+        default=0.01,
+        help="fraction of virtual LLM latency really slept",
+    )
+    bench_shard.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the results JSON (e.g. BENCH_sharding.json)",
+    )
+    bench_shard.set_defaults(handler=_cmd_bench_shard)
 
     partition = sub.add_parser(
         "partition", help="show the partitioner's output for one report"

@@ -1,0 +1,220 @@
+"""Bounded-memory document collections: spill past the budget to disk.
+
+A cluster-sized scan cannot assume the corpus fits in memory. A
+:class:`SpillableDocSet` accepts documents one at a time, keeps at most
+``max_resident_docs`` of them resident, and spills whole partitions to
+JSONL files once the budget is crossed — reusing the journal's Document
+codec (:func:`~repro.lifecycle.journal.encode_value`), so a spilled
+document survives the disk round trip byte-identically, exactly like a
+journalled one.
+
+Layout mirrors the sharding layer: documents land in partitions by the
+same stable-fingerprint hash (:func:`~repro.cluster.sharding.shard_for`),
+so a spilled partition is precisely the on-disk form of a shard and can
+be handed to the cluster without re-partitioning. Iteration streams: a
+partition's spill file is read line by line and merged with the resident
+tail by insertion sequence (each partition's file + buffer is already
+sequence-ordered), so the full set is reproduced in insertion order
+without ever being fully resident.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..docmodel.document import Document
+from ..lifecycle.journal import decode_value, encode_value
+from ..observability.metrics import MetricsRegistry, get_registry
+from .sharding import shard_for
+
+
+class SpillableDocSet:
+    """A partitioned document collection with a resident-memory budget.
+
+    Not thread-safe: one producer fills it, then readers iterate. The
+    write path is append-only; mutation of already-added documents is
+    out of scope (spill a copy if you need isolation).
+    """
+
+    def __init__(
+        self,
+        spill_dir: "Path | str | None" = None,
+        max_resident_docs: int = 10_000,
+        n_partitions: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_resident_docs < 1:
+            raise ValueError("max_resident_docs must be >= 1")
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        self._owns_dir = spill_dir is None
+        self.spill_dir = Path(
+            tempfile.mkdtemp(prefix="repro-spill-") if spill_dir is None else spill_dir
+        )
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.max_resident_docs = max_resident_docs
+        self.n_partitions = n_partitions
+        self.registry = registry if registry is not None else get_registry()
+        self._m_spills = self.registry.counter("cluster.spills")
+        self._m_spilled_docs = self.registry.counter("cluster.spill_docs")
+        self._m_spilled_bytes = self.registry.counter("cluster.spill_bytes")
+        #: Resident tail of each partition: list of (sequence, document).
+        self._buffers: List[List[Tuple[int, Document]]] = [
+            [] for _ in range(n_partitions)
+        ]
+        #: Documents spilled per partition (file line counts).
+        self._spilled_counts: List[int] = [0] * n_partitions
+        self._resident = 0
+        self._sequence = 0
+        self.spills = 0
+        self.spilled_docs = 0
+        self.spilled_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def append(self, document: Document) -> None:
+        """Add one document, spilling if the budget is crossed."""
+        partition = shard_for(document.doc_id, self.n_partitions)
+        self._buffers[partition].append((self._sequence, document))
+        self._sequence += 1
+        self._resident += 1
+        if self._resident > self.max_resident_docs:
+            self._spill_largest()
+
+    def extend(self, documents: Iterable[Document]) -> None:
+        """Add documents from any iterable (streaming-friendly)."""
+        for document in documents:
+            self.append(document)
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[Document], **kwargs: Any
+    ) -> "SpillableDocSet":
+        """Build a set from an iterable, spilling as it fills."""
+        docset = cls(**kwargs)
+        docset.extend(documents)
+        return docset
+
+    def _partition_path(self, partition: int) -> Path:
+        return self.spill_dir / f"partition-{partition:04d}.jsonl"
+
+    def _spill_largest(self) -> None:
+        partition = max(
+            range(self.n_partitions), key=lambda i: len(self._buffers[i])
+        )
+        if not self._buffers[partition]:
+            return
+        self._spill(partition)
+
+    def _spill(self, partition: int) -> None:
+        buffer = self._buffers[partition]
+        if not buffer:
+            return
+        written = 0
+        with open(self._partition_path(partition), "a", encoding="utf-8") as handle:
+            for sequence, document in buffer:
+                line = json.dumps(
+                    {"seq": sequence, "document": encode_value(document)},
+                    sort_keys=True,
+                )
+                handle.write(line + "\n")
+                written += len(line) + 1
+        count = len(buffer)
+        self._spilled_counts[partition] += count
+        self._resident -= count
+        buffer.clear()
+        self.spills += 1
+        self.spilled_docs += count
+        self.spilled_bytes += written
+        self._m_spills.inc()
+        self._m_spilled_docs.inc(count)
+        self._m_spilled_bytes.inc(written)
+
+    def flush(self) -> None:
+        """Spill every resident partition (e.g. before handing files off)."""
+        for partition in range(self.n_partitions):
+            self._spill(partition)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._sequence
+
+    @property
+    def resident_docs(self) -> int:
+        """Documents currently held in memory."""
+        return self._resident
+
+    def _iter_partition(self, partition: int) -> Iterator[Tuple[int, Document]]:
+        """One partition's documents in insertion-sequence order.
+
+        The spill file was appended in sequence order and the resident
+        buffer holds strictly newer documents, so file-then-buffer *is*
+        sequence order — no sort, no full materialization.
+        """
+        path = self._partition_path(partition)
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    yield record["seq"], decode_value(record["document"])
+        for sequence, document in self._buffers[partition]:
+            yield sequence, document
+
+    def __iter__(self) -> Iterator[Document]:
+        """All documents in insertion order, streamed.
+
+        A k-way merge of the (already sorted) partition streams by
+        sequence number: memory use is one document per partition plus
+        whatever is resident, never the full set.
+        """
+        streams = [self._iter_partition(p) for p in range(self.n_partitions)]
+        for _, document in heapq.merge(*streams, key=lambda pair: pair[0]):
+            yield document
+
+    def partition_documents(self, partition: int) -> List[Document]:
+        """One partition's documents, materialized (shard hand-off)."""
+        return [document for _, document in self._iter_partition(partition)]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Spill accounting for `repro cluster-stats`."""
+        return {
+            "documents": len(self),
+            "resident_docs": self._resident,
+            "spilled_docs": self.spilled_docs,
+            "spills": self.spills,
+            "spilled_bytes": self.spilled_bytes,
+            "partitions": self.n_partitions,
+            "max_resident_docs": self.max_resident_docs,
+        }
+
+    def close(self) -> None:
+        """Delete spill files (and the directory when this set made it)."""
+        for partition in range(self.n_partitions):
+            path = self._partition_path(partition)
+            if path.exists():
+                path.unlink()
+        if self._owns_dir:
+            try:
+                self.spill_dir.rmdir()
+            except OSError:  # leftover files someone else put there
+                pass
+
+    def __enter__(self) -> "SpillableDocSet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

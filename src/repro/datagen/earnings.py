@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..docmodel.raw import RawDocument
+from ..execution.materialize import stable_seed
 from .render import PageLayouter
 
 SECTORS = ["AI", "BNPL", "Cloud", "Healthcare", "Retail", "Energy"]
@@ -152,7 +153,7 @@ def generate_company(rng: random.Random, index: int, year: int = 2024) -> Compan
 
 def render_report(record: CompanyReport, rng: Optional[random.Random] = None) -> RawDocument:
     """Render a company report into a raw document."""
-    rng = rng or random.Random(hash(record.report_id) & 0xFFFF)
+    rng = rng or random.Random(stable_seed(record.report_id))
     layout = PageLayouter(header_text=f"{record.company} — Investor Relations")
     layout.add_title(f"{record.company} {record.quarter} {record.fiscal_year} Earnings Report")
     layout.add_label_lines(

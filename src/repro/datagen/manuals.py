@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..docmodel.raw import RawDocument
+from ..execution.materialize import stable_seed
 from .render import PageLayouter
 
 _PRODUCT_FAMILIES = [
@@ -127,7 +128,7 @@ def generate_manual(rng: random.Random, index: int) -> ProductManual:
 
 def render_manual(manual: ProductManual, rng: Optional[random.Random] = None) -> RawDocument:
     """Render a manual record into a multi-page raw document."""
-    rng = rng or random.Random(hash(manual.manual_id) & 0xFFFF)
+    rng = rng or random.Random(stable_seed(manual.manual_id))
     layout = PageLayouter(header_text=f"{manual.product} — Service Manual")
     layout.add_title(f"{manual.product} Service Manual")
     layout.add_label_lines(

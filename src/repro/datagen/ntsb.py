@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..docmodel.raw import RawDocument
+from ..execution.materialize import stable_seed
 from .render import PageLayouter
 
 #: cause_category -> (cause_detail, relative weight)
@@ -308,7 +309,7 @@ def render_incident(
     wreckage_rows: Optional[int] = None,
 ) -> RawDocument:
     """Render a record into a multi-page raw report document."""
-    rng = rng or random.Random(hash(record.report_id) & 0xFFFF)
+    rng = rng or random.Random(stable_seed(record.report_id))
     layout = PageLayouter(header_text="National Transportation Safety Board")
     layout.add_title("Aviation Accident Final Report")
     _, pretty_date = _format_date(record.year, int(record.date[5:7]), int(record.date[8:10]))

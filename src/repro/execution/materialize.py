@@ -48,6 +48,19 @@ def stable_fingerprint(parts: Iterable[Any]) -> str:
     return digest.hexdigest()[:16]
 
 
+def stable_seed(*parts: Any) -> int:
+    """A deterministic non-negative RNG seed from JSON-able parts.
+
+    Builtin ``hash()`` on strings is salted per process
+    (PYTHONHASHSEED), so seeding ``random.Random(hash(some_id))``
+    yields different sequences run to run; anything that derives
+    randomness from an *identifier* must go through here instead (the
+    same discipline as :func:`~repro.cluster.sharding.shard_for` for
+    placement).
+    """
+    return int(stable_fingerprint(parts), 16) & 0x7FFFFFFF
+
+
 def plan_fingerprint(plan: Any) -> str:
     """Structural fingerprint of a dataflow plan's lineage chain.
 

@@ -26,6 +26,23 @@ class SearchHit:
     score: float
 
 
+@dataclass
+class CorpusStats:
+    """Corpus-level BM25 statistics, separable from any one index.
+
+    A sharded deployment computes these *globally* (documents and term
+    document-frequencies summed across shards) and passes them into each
+    shard's :meth:`KeywordIndex.search`, which makes per-shard scores
+    globally comparable — the standard distributed-BM25 trick that keeps
+    scatter/gather retrieval exact rather than approximate.
+    """
+
+    n_docs: int
+    avg_length: float
+    #: term -> number of documents containing it (across the corpus).
+    doc_freqs: Dict[str, int]
+
+
 class KeywordIndex:
     """Okapi BM25 over an in-memory inverted index.
 
@@ -84,18 +101,32 @@ class KeywordIndex:
 
     # ------------------------------------------------------------------
 
-    def search(self, query: str, k: int = 10) -> List[SearchHit]:
-        """Top-``k`` documents by BM25 score; ties break on doc_id."""
+    def search(
+        self, query: str, k: int = 10, stats: Optional[CorpusStats] = None
+    ) -> List[SearchHit]:
+        """Top-``k`` documents by BM25 score; ties break on doc_id.
+
+        ``stats`` overrides the corpus-level quantities (document count,
+        average length, per-term document frequency) with externally
+        computed values — how a shard of a larger corpus scores its
+        local postings on the global scale (see :class:`CorpusStats`).
+        """
         if k <= 0 or not self._doc_lengths:
             return []
-        n_docs = len(self._doc_lengths)
-        avg_length = self._total_length / n_docs if n_docs else 0.0
+        if stats is None:
+            n_docs = len(self._doc_lengths)
+            avg_length = self._total_length / n_docs if n_docs else 0.0
+        else:
+            n_docs = stats.n_docs
+            avg_length = stats.avg_length
         scores: Dict[str, float] = {}
         for term in set(tokenize(query)):
             postings = self._postings.get(term)
             if not postings:
                 continue
-            df = len(postings)
+            df = len(postings) if stats is None else stats.doc_freqs.get(term, 0)
+            if df <= 0:
+                continue
             idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
             for doc_id, tf in postings.items():
                 length = self._doc_lengths[doc_id]
@@ -109,6 +140,25 @@ class KeywordIndex:
     def term_frequency(self, term: str) -> int:
         """Number of documents containing ``term``."""
         return len(self._postings.get(term.lower(), {}))
+
+    def local_stats(self, terms: "Set[str] | None" = None) -> CorpusStats:
+        """This index's contribution to corpus-level statistics.
+
+        A scatter/gather searcher sums these across shards (documents,
+        total length via ``avg_length * n_docs``, per-term document
+        frequencies) to build the global :class:`CorpusStats` it then
+        scores every shard with.
+        """
+        if terms is None:
+            terms = set(self._postings)
+        n_docs = len(self._doc_lengths)
+        return CorpusStats(
+            n_docs=n_docs,
+            avg_length=(self._total_length / n_docs) if n_docs else 0.0,
+            doc_freqs={
+                term: len(self._postings.get(term, {})) for term in terms
+            },
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,154 @@
+"""Shard-aware retrieval: scatter a query, gather an exact global top-k.
+
+The paper's OpenSearch deployment splits every index into shards and
+answers queries by fanning out to all of them, merging per-shard top-k
+lists into a global ranking. This module reproduces that shape over the
+local index types:
+
+* Documents are placed on shards by the same stable-fingerprint hash
+  the cluster layer uses (:func:`~repro.cluster.sharding.shard_for`), so
+  the index shard owning a document and the worker shard processing it
+  agree by construction.
+* BM25 stays *exact* under sharding: a first (cheap, postings-only)
+  round sums per-term document frequencies, document counts and lengths
+  across shards into a global :class:`~repro.indexes.keyword.CorpusStats`;
+  the scoring round then runs on every shard with those global values,
+  which makes per-shard scores directly comparable — the distributed-IDF
+  technique production engines use.
+* Cosine scores need no correction (the query is normalized once), so
+  the vector fan-out is merge-only.
+
+Per-shard queries run in a thread pool (index scans release the GIL in
+numpy and are cheap in the BM25 dict walk); the merge is a pure sort on
+``(-score, doc_id)``, so results are independent of shard completion
+order — the same order-stability contract the cluster gather makes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.sharding import shard_for
+from .keyword import CorpusStats, KeywordIndex, SearchHit
+from .vector import VectorIndex
+
+
+def merge_hits(per_shard: Sequence[List[SearchHit]], k: int) -> List[SearchHit]:
+    """Global top-``k`` from per-shard rankings (score desc, id asc)."""
+    merged = [hit for hits in per_shard for hit in hits]
+    merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+    return merged[:k]
+
+
+class ShardedKeywordIndex:
+    """BM25 over ``n_shards`` disjoint :class:`KeywordIndex` shards.
+
+    ``search`` is exact: it returns the same hits and scores as one
+    unsharded index over the union of the documents (the equality the
+    cluster test suite asserts).
+    """
+
+    def __init__(self, n_shards: int = 4, k1: float = 1.2, b: float = 0.75):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.shards = [KeywordIndex(k1=k1, b=b) for _ in range(n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._shard_of(doc_id)
+
+    def _shard_of(self, doc_id: str) -> KeywordIndex:
+        return self.shards[shard_for(doc_id, len(self.shards))]
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index on the owning shard (stable-hash placement)."""
+        self._shard_of(doc_id).add(doc_id, text)
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove from the owning shard."""
+        return self._shard_of(doc_id).remove(doc_id)
+
+    def global_stats(self, query: str) -> CorpusStats:
+        """Corpus statistics summed across every shard for this query."""
+        from ..embedding.embedder import tokenize
+
+        terms = set(tokenize(query))
+        n_docs = 0
+        total_length = 0.0
+        doc_freqs: Dict[str, int] = {term: 0 for term in terms}
+        for shard in self.shards:
+            local = shard.local_stats(terms)
+            n_docs += local.n_docs
+            total_length += local.avg_length * local.n_docs
+            for term in terms:
+                doc_freqs[term] += local.doc_freqs.get(term, 0)
+        return CorpusStats(
+            n_docs=n_docs,
+            avg_length=(total_length / n_docs) if n_docs else 0.0,
+            doc_freqs=doc_freqs,
+        )
+
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        """Exact global top-``k``: stats round, parallel scoring round,
+        order-stable merge."""
+        if k <= 0 or len(self) == 0:
+            return []
+        stats = self.global_stats(query)
+        with ThreadPoolExecutor(
+            max_workers=len(self.shards), thread_name_prefix="repro-fanout"
+        ) as pool:
+            per_shard = list(
+                pool.map(lambda shard: shard.search(query, k=k, stats=stats), self.shards)
+            )
+        return merge_hits(per_shard, k)
+
+
+class ShardedVectorIndex:
+    """Cosine search over ``n_shards`` disjoint :class:`VectorIndex` shards."""
+
+    def __init__(self, dimensions: int, n_shards: int = 4):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.dimensions = dimensions
+        self.shards = [VectorIndex(dimensions) for _ in range(n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._shard_of(doc_id)
+
+    def _shard_of(self, doc_id: str) -> VectorIndex:
+        return self.shards[shard_for(doc_id, len(self.shards))]
+
+    def add(self, doc_id: str, vector: Sequence[float]) -> None:
+        """Add to the owning shard (stable-hash placement)."""
+        self._shard_of(doc_id).add(doc_id, vector)
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove from the owning shard."""
+        return self._shard_of(doc_id).remove(doc_id)
+
+    def search(self, query: Sequence[float], k: int = 10) -> List[SearchHit]:
+        """Exact global top-``k`` by cosine: per-shard scans are already
+        on a common scale, so fan-out + merge needs no stats round."""
+        if k <= 0 or len(self) == 0:
+            return []
+        with ThreadPoolExecutor(
+            max_workers=len(self.shards), thread_name_prefix="repro-fanout"
+        ) as pool:
+            per_shard = list(
+                pool.map(lambda shard: shard.search(query, k=k), self.shards)
+            )
+        return merge_hits(per_shard, k)

@@ -24,6 +24,11 @@ Journal format (JSON lines, one record per line):
   codec below.
 * ``{"type": "commit", "answer"}`` — the query finished; the stored
   answer lets tooling audit resumed-vs-uninterrupted byte equality.
+* ``{"type": "shard", "shard", "fingerprint", "documents", "positions"}``
+  — one per completed cluster shard (scatter/gather segments checkpoint
+  at shard granularity, so a resumed query re-runs only lost shards).
+  The fingerprint binds the record to one (sub-plan, partition) pair;
+  records from a different plan or corpus are ignored on resume.
 
 Value codec: documents round-trip through the Document dict codec (the
 same one DiskCache uses), tuples are tagged (JSON has no tuple), lists
@@ -102,6 +107,9 @@ class JournalState:
     operations: Dict[int, str] = field(default_factory=dict)
     committed: bool = False
     answer: Any = None
+    #: Shard id -> {"fingerprint", "documents", "positions"} for every
+    #: durably checkpointed cluster shard (see ClusterCoordinator).
+    shards: Dict[int, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def last_checkpoint(self) -> int:
@@ -127,6 +135,7 @@ class QueryJournal:
         self._m_records = self.registry.counter("lifecycle.journal_records")
         self._m_begins = self.registry.counter("lifecycle.journal_begins")
         self._m_commits = self.registry.counter("lifecycle.journal_commits")
+        self._m_shards = self.registry.counter("lifecycle.journal_shards")
         self._lock = threading.Lock()
 
     def path(self, query_id: str) -> Path:
@@ -187,6 +196,33 @@ class QueryJournal:
             },
         )
 
+    def shard_complete(
+        self,
+        query_id: str,
+        shard_id: int,
+        *,
+        fingerprint: str,
+        documents: List[Document],
+        positions: List[int],
+    ) -> None:
+        """Durably checkpoint one cluster shard's output.
+
+        Same write-ahead contract as :meth:`node_complete`; the
+        fingerprint covers the shard sub-plan *and* the partition map,
+        so resume never replays a shard of a different plan or corpus.
+        """
+        self._append(
+            query_id,
+            {
+                "type": "shard",
+                "shard": int(shard_id),
+                "fingerprint": fingerprint,
+                "documents": [encode_value(d) for d in documents],
+                "positions": [int(p) for p in positions],
+            },
+        )
+        self._m_shards.inc()
+
     def commit(self, query_id: str, answer: Any) -> None:
         """Record that the query finished, with its final answer."""
         self._append(
@@ -244,7 +280,17 @@ class QueryJournal:
                 elif kind == "commit":
                     state.committed = True
                     state.answer = decode_value(record.get("answer"))
-        if not state.plan_json:
+                elif kind == "shard":
+                    state.shards[int(record["shard"])] = {
+                        "fingerprint": record.get("fingerprint", ""),
+                        "documents": [
+                            decode_value(d) for d in record.get("documents", [])
+                        ],
+                        "positions": [int(p) for p in record.get("positions", [])],
+                    }
+        if not state.plan_json and not state.shards:
+            # Shard-only journals (a coordinator checkpointing a bare
+            # segment) have no begin record and are still loadable.
             raise JournalError(
                 f"journal for query {query_id!r} has no begin record"
             )

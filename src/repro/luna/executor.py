@@ -146,6 +146,22 @@ class ExecutionTrace:
 LUNA_ERROR_POLICIES = ("fail", "skip", "dead_letter")
 
 
+@dataclass
+class _NodeStats:
+    """Per-node failure-containment and spend stats, merged from the
+    DocSet execution layer and (when a node scattered across the
+    cluster) worker-side counters the parent cost tracker never saw."""
+
+    dead_lettered: int = 0
+    skipped: int = 0
+    #: The node landed a typed partial (deadline-expired cluster shards
+    #: absorbed under a non-fatal policy) without per-record counters.
+    partial: bool = False
+    #: Worker-process LLM spend (invisible to the parent tracker).
+    llm_calls: int = 0
+    cost_usd: float = 0.0
+
+
 class LunaExecutor:
     """Interprets validated logical plans against the context's catalog."""
 
@@ -157,12 +173,15 @@ class LunaExecutor:
         self.context = context
         self.error_policy = error_policy
         self._last_plan_stats = None
+        self._last_cluster_stats: Optional[_NodeStats] = None
+        self._current_query_id = ""
 
     def execute(
         self,
         plan: LogicalPlan,
         completed: Optional[Dict[int, Any]] = None,
         journal_writer: Optional[Callable[[int, str, Any], None]] = None,
+        query_id: str = "",
     ) -> "tuple[Any, ExecutionTrace]":
         """Run the plan; returns (final answer, trace).
 
@@ -192,6 +211,9 @@ class LunaExecutor:
 
         ensure_valid_plan(plan)
         plan.validate()
+        # Shard journal records key on the query id; cluster-routed
+        # nodes pick it up from here (see _cluster_route).
+        self._current_query_id = query_id
         fatal = self.error_policy == "fail"
         tracer = getattr(self.context, "tracer", None)
         results: Dict[int, Any] = {}
@@ -221,6 +243,7 @@ class LunaExecutor:
             before = self.context.cost_tracker.summary()
             start = time.perf_counter()
             self._last_plan_stats = None
+            self._last_cluster_stats = None
             error: Optional[str] = None
             op_span = None
             if tracer is not None:
@@ -304,10 +327,15 @@ class LunaExecutor:
             trace.nodes_executed += 1
             if journal_writer is not None and error is None:
                 journal_writer(index, node.operation, output)
-            dead_lettered, skipped = self._drain_plan_stats()
+            node_stats = self._drain_plan_stats()
             if error is not None:
                 trace.errors.append(f"node {index} ({node.operation}): {error}")
-            if error is not None or dead_lettered or skipped:
+            if (
+                error is not None
+                or node_stats.dead_lettered
+                or node_stats.skipped
+                or node_stats.partial
+            ):
                 trace.partial = True
             trace.entries.append(
                 TraceEntry(
@@ -317,24 +345,28 @@ class LunaExecutor:
                     records_in=_count_records(inputs[0]) if inputs else 0,
                     records_out=_count_records(output),
                     duration_s=duration,
-                    llm_cost_usd=after.cost_usd - before.cost_usd,
-                    llm_calls=after.calls - before.calls,
+                    llm_cost_usd=after.cost_usd - before.cost_usd + node_stats.cost_usd,
+                    llm_calls=after.calls - before.calls + node_stats.llm_calls,
                     result_preview=_preview(output),
                     document_ids=_document_ids(output),
-                    dead_lettered=dead_lettered,
-                    skipped=skipped,
+                    dead_lettered=node_stats.dead_lettered,
+                    skipped=node_stats.skipped,
                     error=error,
                 )
             )
         return results[plan.result_node()], trace
 
-    def _drain_plan_stats(self) -> "tuple[int, int]":
-        """(dead_lettered, skipped) from the node's DocSet execution."""
+    def _drain_plan_stats(self) -> _NodeStats:
+        """The node's failure-containment and spend stats, merged from
+        the DocSet execution layer and any cluster-routed segment."""
         stats = self._last_plan_stats
         self._last_plan_stats = None
-        if stats is None:
-            return 0, 0
-        return stats.total_dead_lettered(), stats.total_skipped()
+        merged = self._last_cluster_stats or _NodeStats()
+        self._last_cluster_stats = None
+        if stats is not None:
+            merged.dead_lettered += stats.total_dead_lettered()
+            merged.skipped += stats.total_skipped()
+        return merged
 
     def _run_docset_plan(self, plan: Plan) -> List[Document]:
         """Run a per-record DocSet plan under this executor's policy."""
@@ -386,8 +418,62 @@ class LunaExecutor:
                 continue
         return kept
 
+    def _cluster_route(
+        self, operation: str, documents: List[Document], **params: Any
+    ) -> Optional[List[Document]]:
+        """Scatter a per-record LLM operator across the context's cluster.
+
+        Returns ``None`` when the node should run in-process instead: no
+        cluster attached, too few documents to amortize scatter overhead
+        (``min_cluster_docs``), or the cluster's admission gate rejected
+        the segment (saturation degrades to local execution rather than
+        failing the query). Byte-identity between the two paths is
+        structural — workers rebuild their pipelines from the same
+        transform factories this executor uses.
+        """
+        cluster = getattr(self.context, "cluster", None)
+        if cluster is None:
+            return None
+        if len(documents) < cluster.config.min_cluster_docs:
+            return None
+        # Lazy imports: a module-level import here would close the
+        # luna -> cluster -> serving -> luna cycle.
+        from ..cluster.envelope import ShardOp, ShardPlanSpec
+        from ..serving.service import Overloaded
+
+        spec = ShardPlanSpec.from_ops(
+            [ShardOp.make(operation, **{k: v for k, v in params.items() if v is not None})],
+            default_model=self.context.default_model,
+        )
+        partial = "raise" if self.error_policy == "fail" else "typed"
+        try:
+            result = cluster.run_segment(
+                documents,
+                spec,
+                query_id=self._current_query_id,
+                partial=partial,
+            )
+        except Overloaded:
+            return None
+        self._last_cluster_stats = _NodeStats(
+            dead_lettered=result.dead_lettered,
+            skipped=result.skipped,
+            partial=result.status == "partial",
+            llm_calls=result.llm_calls,
+            cost_usd=result.cost_usd,
+        )
+        return result.documents
+
     def _op_llmfilter(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
         documents = _require_documents(node, inputs[0])
+        routed = self._cluster_route(
+            "LlmFilter",
+            documents,
+            condition=str(node.params["condition"]),
+            model=node.params.get("model"),
+        )
+        if routed is not None:
+            return routed
         predicate = make_llm_filter_fn(
             self.context,
             condition=str(node.params["condition"]),
@@ -401,6 +487,15 @@ class LunaExecutor:
         documents = _require_documents(node, inputs[0])
         field_name = str(node.params["field"])
         field_type = str(node.params.get("type", "string"))
+        routed = self._cluster_route(
+            "LlmExtract",
+            documents,
+            field=field_name,
+            type=field_type,
+            model=node.params.get("model"),
+        )
+        if routed is not None:
+            return routed
         fn = make_extract_properties_fn(
             self.context,
             {field_name: field_type},

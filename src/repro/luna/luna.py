@@ -235,7 +235,9 @@ class Luna:
             optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
             code = generate_code(optimized)
             writer = self._journal_begin(query_id, question, index, optimized)
-            answer, trace = self.executor.execute(optimized, journal_writer=writer)
+            answer, trace = self.executor.execute(
+                optimized, journal_writer=writer, query_id=query_id
+            )
         else:
             # Ambient-parented: standalone queries root their own trace
             # (the historical behaviour); queries run under the serving
@@ -257,7 +259,7 @@ class Luna:
                         query_id, question, index, optimized
                     )
                     answer, trace = self.executor.execute(
-                        optimized, journal_writer=writer
+                        optimized, journal_writer=writer, query_id=query_id
                     )
             except BaseException as exc:
                 tracer.finish(
@@ -339,7 +341,10 @@ class Luna:
         tracer = getattr(self.context, "tracer", None)
         if tracer is None:
             answer, trace = self.executor.execute(
-                optimized, completed=state.completed, journal_writer=writer
+                optimized,
+                completed=state.completed,
+                journal_writer=writer,
+                query_id=query_id,
             )
         else:
             query_span = tracer.start_span(
@@ -355,6 +360,7 @@ class Luna:
                         optimized,
                         completed=state.completed,
                         journal_writer=writer,
+                        query_id=query_id,
                     )
             except BaseException as exc:
                 tracer.finish(

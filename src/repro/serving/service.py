@@ -103,6 +103,11 @@ class ServiceConfig:
     policy: str = "balanced"
     error_policy: str = "dead_letter"
     planner_model: str = "sim-large"
+    #: Worker *processes* for scatter/gather execution of large
+    #: per-record LLM operators (0 disables). When set, the service
+    #: attaches a :class:`repro.cluster.ClusterCoordinator` to the
+    #: context (unless one is already injected) and owns its lifecycle.
+    cluster_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -111,6 +116,8 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.default_tenant_inflight < 1:
             raise ValueError("default_tenant_inflight must be >= 1")
+        if self.cluster_workers < 0:
+            raise ValueError("cluster_workers must be >= 0")
 
 
 @dataclass
@@ -341,6 +348,20 @@ class QueryService:
         #: EMA of recent per-query latency, feeding Overloaded.retry_after_s.
         self._latency_ema_s = 0.0
         self._luna_local = threading.local()
+        # Scatter/gather back-end: served queries route large per-record
+        # LLM operators through worker processes (see repro.cluster).
+        # Lazy import — serving is on the luna -> cluster -> serving
+        # cycle, so the dependency must stay runtime-only.
+        self._owned_cluster: Optional[Any] = None
+        if self.config.cluster_workers > 0 and getattr(context, "cluster", None) is None:
+            from ..cluster.coordinator import ClusterConfig, ClusterCoordinator
+
+            self._owned_cluster = ClusterCoordinator(
+                ClusterConfig(n_workers=self.config.cluster_workers),
+                tracer=self.tracer,
+                registry=self.registry,
+            )
+            context.cluster = self._owned_cluster
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -938,6 +959,11 @@ class QueryService:
             )
         for worker in self._workers:
             worker.join(timeout=timeout)
+        if self._owned_cluster is not None:
+            self._owned_cluster.close()
+            if getattr(self.context, "cluster", None) is self._owned_cluster:
+                self.context.cluster = None
+            self._owned_cluster = None
 
     def __enter__(self) -> "QueryService":
         return self
@@ -952,7 +978,7 @@ class QueryService:
             active = self._active
             peak = self._peak_queue_depth
             tenants = {name: t.as_dict() for name, t in sorted(self._tenants.items())}
-        return {
+        payload: Dict[str, Any] = {
             "submitted": int(self._m_submitted.value()),
             "admitted": int(self._m_admitted.value()),
             "rejected": int(self._m_rejected.value()),
@@ -970,3 +996,7 @@ class QueryService:
             "saved_usd": round(self._m_saved_usd.value(), 6),
             "tenants": tenants,
         }
+        cluster = getattr(self.context, "cluster", None)
+        if cluster is not None:
+            payload["cluster"] = cluster.stats()
+        return payload

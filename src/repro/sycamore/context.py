@@ -96,6 +96,12 @@ class SycamoreContext:
         self.max_task_retries = max_task_retries
         self.default_model = default_model
         self.on_error = on_error
+        #: Optional :class:`repro.cluster.ClusterCoordinator`. When set,
+        #: engines may scatter large per-record LLM operators across
+        #: worker processes (Luna routes LlmFilter/LlmExtract through it
+        #: past ``min_cluster_docs``). Injected like the scheduler: the
+        #: creator owns its lifecycle, ``close()`` leaves it running.
+        self.cluster = None
         #: ExecutionStats of the most recent DocSet terminal run through
         #: this context (dead letters, skips, retries — see repro.execution).
         self.last_stats = None
@@ -106,9 +112,9 @@ class SycamoreContext:
 
         The reliability-wrapped LLM lazily builds a batch thread pool
         (``complete_many``); a context that is dropped without closing
-        it leaks those non-daemon workers. The scheduler, when present,
-        is *not* closed here: it is injected, so its creator owns its
-        lifecycle.
+        it leaks those non-daemon workers. The scheduler and cluster,
+        when present, are *not* closed here: they are injected, so their
+        creators own their lifecycles.
         """
         self.llm.close()
 

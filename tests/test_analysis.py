@@ -465,6 +465,102 @@ class TestNaiveWallClock:
 
 
 # ----------------------------------------------------------------------
+# nonpicklable-task-capture
+# ----------------------------------------------------------------------
+
+
+class TestNonPicklableTaskCapture:
+    RULE = "nonpicklable-task-capture"
+
+    def test_lambda_in_envelope_fires(self):
+        found = hits(
+            """
+            def scatter(shard):
+                return TaskEnvelope(
+                    shard_id=shard.shard_id,
+                    transform=lambda doc: doc,
+                )
+            """,
+            self.RULE,
+        )
+        assert len(found) == 1
+        assert "lambda" in found[0].message
+
+    def test_nested_function_in_spec_fires(self):
+        found = hits(
+            """
+            def build(docs):
+                def predicate(doc):
+                    return doc.ok
+                return ShardOp(operation="BasicFilter", params=predicate)
+            """,
+            self.RULE,
+        )
+        assert len(found) == 1
+        assert "predicate" in found[0].message
+
+    def test_lock_put_on_queue_fires(self):
+        found = hits(
+            """
+            def dispatch(self, envelope):
+                self.task_queue.put((envelope, self._lock))
+            """,
+            self.RULE,
+        )
+        assert len(found) == 1
+        assert "lock" in found[0].message.lower()
+
+    def test_declarative_envelope_is_clean(self):
+        assert not hits(
+            """
+            def scatter(shard, spec):
+                return TaskEnvelope(
+                    shard_id=shard.shard_id,
+                    spec=spec,
+                    documents=list(shard.documents),
+                    budget_s=2.5,
+                )
+            """,
+            self.RULE,
+        )
+
+    def test_plain_values_on_queue_are_clean(self):
+        assert not hits(
+            """
+            def dispatch(self, envelope):
+                self.task_queue.put(envelope)
+            """,
+            self.RULE,
+        )
+
+    def test_lambda_elsewhere_is_clean(self):
+        """Only the process boundary is policed: lambdas handed to
+        in-process calls (sort keys etc.) are fine."""
+        assert not hits(
+            """
+            def order(shards):
+                shards.sort(key=lambda s: s.shard_id)
+                return shards
+            """,
+            self.RULE,
+        )
+
+    def test_module_level_function_reference_is_clean(self):
+        """Top-level functions pickle by qualified name; only sibling
+        *nested* defs are closure hazards."""
+        assert not hits(
+            """
+            def helper(doc):
+                return doc
+
+            def scatter(shard):
+                return ShardOp(operation="Map", params=helper)
+            """,
+            self.RULE,
+        )
+
+
+# ----------------------------------------------------------------------
 # Suppressions and baseline
 # ----------------------------------------------------------------------
 
@@ -571,6 +667,7 @@ class TestSuppressionsAndBaseline:
             "metric-name-drift",
             "naive-wall-clock",
             "timeout-not-propagated",
+            "nonpicklable-task-capture",
         }
 
 

@@ -213,3 +213,47 @@ class TestOrphanControl:
             # All rows survive the pagination.
             total_rows = sum(f.table.num_rows for f in fragments)
             assert total_rows == 31
+
+
+class TestRenderHashSeedIndependence:
+    """The render functions' rng *fallbacks* must route through
+    ``stable_seed``, never builtin ``hash()`` — a document rendered
+    without an explicit rng has to produce identical bytes under any
+    ``PYTHONHASHSEED`` (the cluster layer replays renders in spawned
+    worker processes, which do not inherit the parent's hash salt)."""
+
+    _CHILD = """
+import hashlib
+import random
+
+from repro.datagen.earnings import generate_company, render_report
+from repro.datagen.manuals import generate_manual, render_manual
+from repro.datagen.ntsb import generate_incident, render_incident
+
+digest = hashlib.sha256()
+rng = random.Random(7)
+for i in range(3):
+    digest.update(render_incident(generate_incident(rng, i)).all_text().encode())
+    digest.update(render_report(generate_company(rng, i)).all_text().encode())
+    digest.update(render_manual(generate_manual(rng, i)).all_text().encode())
+print(digest.hexdigest())
+"""
+
+    def _render_digest(self, hash_seed: str) -> str:
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", self._CHILD],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout.strip()
+
+    def test_render_bytes_identical_across_hash_seeds(self):
+        assert self._render_digest("0") == self._render_digest("271828")
