@@ -26,6 +26,8 @@ DOCS = [
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/OPTIMIZER.md",
+    "docs/OPERATORS.md",
 ]
 
 MD_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")

@@ -36,6 +36,10 @@ Violation codes (severity in parentheses):
 ``group-by-unknown``      (warning) group_by field not provided
 ``project-unknown``       (warning) projected field not provided
 ``dead-node`` (warning)   node output is never consumed
+``bad-cascade``           malformed cascade annotation (votes,
+                          threshold, or a non-eligible operator)
+``cascade-unknown-model`` (warning) a cascade's draft or verify
+                          (fallback) model is not in the model registry
 ========================  ===========================================
 """
 
@@ -45,7 +49,13 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-from ..luna.operators import OPERATOR_SPECS, LogicalPlan, PlanValidationError
+from ..llm.base import DEFAULT_MODELS
+from ..luna.operators import (
+    CASCADE_ELIGIBLE_OPERATIONS,
+    OPERATOR_SPECS,
+    LogicalPlan,
+    PlanValidationError,
+)
 
 __all__ = [
     "PlanCheckError",
@@ -272,6 +282,18 @@ class _Checker:
     def _check_params(self, index: int, node: Any) -> None:
         params = node.params
         op = node.operation
+        self._check_cascade(index, node)
+        if op == "QueryIndex":
+            scan_op = params.get("filter_op")
+            if params.get("filter_field") is not None and (
+                scan_op is not None and scan_op not in _COMPARATORS
+            ):
+                self._issue(
+                    "bad-param",
+                    f"unknown scan-filter comparator {scan_op!r}; expected "
+                    f"one of {sorted(_COMPARATORS)}",
+                    node=index,
+                )
         if op == "BasicFilter":
             comparator = params.get("op")
             if comparator is not None and comparator not in _COMPARATORS:
@@ -325,6 +347,66 @@ class _Checker:
                     f"expression must be a string, got {expression!r}",
                     node=index,
                 )
+
+    def _check_cascade(self, index: int, node: Any) -> None:
+        """Validate a cost-based optimizer cascade annotation.
+
+        A malformed annotation is an error (the executor would misrun
+        it); a draft or verify (fallback) model missing from the model
+        registry is the ``cascade-unknown-model`` warning — the plan
+        still executes, falling back to the context's default model, but
+        the escalation path the optimizer priced does not exist.
+        """
+        cascade = node.params.get("cascade")
+        if cascade is None:
+            return
+        if node.operation not in CASCADE_ELIGIBLE_OPERATIONS:
+            self._issue(
+                "bad-cascade",
+                f"{node.operation} is not cascade-eligible "
+                f"(eligible: {list(CASCADE_ELIGIBLE_OPERATIONS)})",
+                node=index,
+            )
+            return
+        if not isinstance(cascade, dict):
+            self._issue(
+                "bad-cascade",
+                f"cascade must be a mapping, got {cascade!r}",
+                node=index,
+            )
+            return
+        votes = cascade.get("draft_votes", 2)
+        if not isinstance(votes, int) or votes < 1:
+            self._issue(
+                "bad-cascade",
+                f"draft_votes must be a positive integer, got {votes!r}",
+                node=index,
+            )
+        threshold = cascade.get("confidence_threshold", 0.75)
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            self._issue(
+                "bad-cascade",
+                f"confidence_threshold must be a number, got {threshold!r}",
+                node=index,
+            )
+        draft = cascade.get("draft_model")
+        if draft is not None and draft not in DEFAULT_MODELS:
+            self._issue(
+                "cascade-unknown-model",
+                f"cascade draft model {draft!r} is not in the model "
+                f"registry (known: {sorted(DEFAULT_MODELS)})",
+                node=index,
+                severity=WARNING,
+            )
+        verify = node.params.get("model")
+        if verify is not None and verify not in DEFAULT_MODELS:
+            self._issue(
+                "cascade-unknown-model",
+                f"cascade fallback (verify) model {verify!r} is not in "
+                f"the model registry (known: {sorted(DEFAULT_MODELS)})",
+                node=index,
+                severity=WARNING,
+            )
 
     # ------------------------------------------------------------------
     # Cycles

@@ -64,6 +64,7 @@ METRIC_NAMESPACES: Tuple[str, ...] = (
     "analysis.",
     "lifecycle.",
     "cluster.",
+    "optimizer.",
 )
 
 #: Terminal-name heuristic for "this expression is a lock-like object".

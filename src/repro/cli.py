@@ -64,6 +64,15 @@ Commands
     Run the serving benchmark (warm concurrent service vs cold
     sequential ``Luna.query`` loop, plus an overload/shedding phase) and
     optionally write ``BENCH_serving.json``.
+``plan-explain``
+    Run a query through the cost-based optimizer and print the
+    optimizer report — the rewrites applied (predicate reorder,
+    scan-filter folding, model selection, cascade annotation), the
+    estimated cost before and after, and the actual cost observed —
+    followed by the optimized plan. ``--policy cascade`` routes
+    LLM filters/extracts through cheap-model-first cascades;
+    ``--repeat N`` re-runs the question so the statistics store's
+    learned selectivities feed back into later plans.
 ``lint``
     Run the project's static-analysis rules (``repro.analysis``) over
     source paths; exits non-zero on findings not in the committed
@@ -720,6 +729,34 @@ def _parse_brownout(value: str) -> BrownoutWindow:
         ) from None
 
 
+def _cmd_plan_explain(args: argparse.Namespace) -> int:
+    from .optimizer import StatsStore
+
+    print(f"building {args.docs}-document {args.dataset} corpus (seed {args.seed})...")
+    ctx = _build_context(args.dataset, args.docs, args.seed, args.parallelism)
+    stats = StatsStore(path=args.stats, registry=ctx.registry)
+    luna = Luna(ctx, policy=args.policy, stats_store=stats)
+    for run in range(max(1, args.repeat)):
+        result = luna.query(args.question, index=args.dataset)
+        if args.repeat > 1:
+            print(f"\n=== run {run + 1}/{args.repeat} ===")
+        report = result.trace.optimizer_report
+        if report is not None:
+            print()
+            print(report.render())
+        print("\noptimized plan:")
+        print(result.optimized_plan.to_natural_language())
+        print(f"\nanswer: {result.answer}")
+        print(
+            f"(LLM calls: {result.trace.total_llm_calls()}, "
+            f"cost: ${result.trace.total_cost_usd():.4f})"
+        )
+    if args.stats:
+        stats.save()
+        print(f"\nstatistics saved to {args.stats}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -787,7 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--parallelism", type=int, default=4)
         p.add_argument(
             "--policy",
-            choices=("quality", "balanced", "cost"),
+            choices=("quality", "balanced", "cost", "cascade"),
             default="balanced",
             help="optimizer policy",
         )
@@ -1049,6 +1086,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("--seed", type=int, default=0)
     partition.set_defaults(handler=_cmd_partition)
+
+    plan_explain = sub.add_parser(
+        "plan-explain",
+        help="run a query and print the cost-based optimizer's report",
+    )
+    common(plan_explain)
+    plan_explain.add_argument(
+        "question",
+        nargs="?",
+        default="How many incidents were caused by wind?",
+        help="the natural-language question",
+    )
+    plan_explain.add_argument(
+        "--dataset", choices=("ntsb", "earnings"), default="ntsb"
+    )
+    plan_explain.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="ask the question N times so learned statistics feed back",
+    )
+    plan_explain.add_argument(
+        "--stats",
+        default=None,
+        metavar="PATH",
+        help="statistics store file to load from / save to",
+    )
+    plan_explain.set_defaults(handler=_cmd_plan_explain)
 
     lint = sub.add_parser(
         "lint", help="run the project static-analysis rules over source paths"

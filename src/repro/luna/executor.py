@@ -25,6 +25,8 @@ from ..runtime import Priority
 from ..sycamore import aggregates
 from ..sycamore.context import SycamoreContext
 from ..sycamore.llm_transforms import (
+    make_cascade_extract_fn,
+    make_cascade_filter_fn,
     make_extract_properties_fn,
     make_llm_filter_fn,
     summarize_collection,
@@ -102,6 +104,11 @@ class ExecutionTrace:
     #: checkpoint — the counters the chaos-recovery gate asserts on.
     nodes_executed: int = 0
     nodes_replayed: int = 0
+    #: Cost-based optimizer audit (estimated vs actual, rewrites applied)
+    #: when the query ran through :class:`repro.optimizer.CostBasedOptimizer`;
+    #: rendered by the ``plan-explain`` CLI verb. Typed ``Any`` to keep
+    #: the luna -> optimizer import one-way (optimizer imports operators).
+    optimizer_report: Optional[Any] = None
 
     def render(self) -> str:
         """Render a human-readable text view."""
@@ -392,7 +399,26 @@ class LunaExecutor:
         if query:
             k = int(node.params.get("k", 20))
             return index.search_hybrid(str(query), k=k)
-        return index.all_documents()
+        documents = index.all_documents()
+        filter_field = node.params.get("filter_field")
+        if filter_field:
+            # Scan-side structured filter, folded in by the cost-based
+            # optimizer: read only records whose catalog field matches.
+            get = aggregates.property_getter(str(filter_field))
+            compare = _comparator(str(node.params.get("filter_op", "eq")))
+            value = node.params.get("filter_value")
+            kept = []
+            for document in documents:
+                actual = get(document)
+                if actual is None:
+                    continue
+                try:
+                    if compare(actual, value):
+                        kept.append(document)
+                except TypeError:
+                    continue
+            return kept
+        return documents
 
     def _op_fromdocuments(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
         index = self.context.catalog.get(str(node.params["index"]))
@@ -466,6 +492,24 @@ class LunaExecutor:
 
     def _op_llmfilter(self, node: PlanNode, inputs: List[Any], _: Dict[int, Any]) -> List[Document]:
         documents = _require_documents(node, inputs[0])
+        cascade = node.params.get("cascade")
+        if isinstance(cascade, dict):
+            # Cascade-annotated nodes run in-process: the draft/escalate
+            # decision is per-record state the cluster envelope does not
+            # carry, and drafts are cheap enough not to need scattering.
+            predicate = make_cascade_filter_fn(
+                self.context,
+                condition=str(node.params["condition"]),
+                verify_model=str(node.params.get("model") or self.context.default_model),
+                draft_model=str(cascade.get("draft_model", "sim-small")),
+                draft_votes=int(cascade.get("draft_votes", 2)),
+                confidence_threshold=float(cascade.get("confidence_threshold", 0.75)),
+                priority=Priority.INTERACTIVE,
+            )
+            plan = Plan.from_items(documents).filter(
+                predicate, name="luna_cascade_filter"
+            )
+            return self._run_docset_plan(plan)
         routed = self._cluster_route(
             "LlmFilter",
             documents,
@@ -487,6 +531,18 @@ class LunaExecutor:
         documents = _require_documents(node, inputs[0])
         field_name = str(node.params["field"])
         field_type = str(node.params.get("type", "string"))
+        cascade = node.params.get("cascade")
+        if isinstance(cascade, dict):
+            fn = make_cascade_extract_fn(
+                self.context,
+                {field_name: field_type},
+                verify_model=str(node.params.get("model") or self.context.default_model),
+                draft_model=str(cascade.get("draft_model", "sim-small")),
+                confidence_threshold=float(cascade.get("confidence_threshold", 0.75)),
+                priority=Priority.INTERACTIVE,
+            )
+            plan = Plan.from_items(documents).map(fn, name="luna_cascade_extract")
+            return self._run_docset_plan(plan)
         routed = self._cluster_route(
             "LlmExtract",
             documents,

@@ -65,6 +65,8 @@ class LunaResult:
         ]
         if self.trace.cost is not None and self.trace.cost.operators:
             parts += ["", "Cost account (from trace spans):", self.trace.cost.render()]
+        if self.trace.optimizer_report is not None:
+            parts += ["", self.trace.optimizer_report.render()]
         if self.trace.trace_id:
             parts.append(f"Trace id: {self.trace.trace_id}")
         if self.partial:
@@ -100,6 +102,8 @@ class Luna:
         policy: "OptimizerPolicy | str" = BALANCED_POLICY,
         error_policy: str = "fail",
         journal: Optional[QueryJournal] = None,
+        stats_store: Optional[Any] = None,
+        optimizer: Optional[Any] = None,
     ):
         self.context = context
         # Optional write-ahead journal: queries submitted with a
@@ -119,7 +123,20 @@ class Luna:
                 raise ValueError(
                     f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
                 ) from None
-        self.optimizer = LunaOptimizer(policy)
+        # Optional adaptive-statistics loop (repro.optimizer): a live
+        # StatsStore both informs the cost-based rewrites and accumulates
+        # each execution's observed selectivity/$-per-row figures. The
+        # serving layer instead passes ``optimizer`` built against a
+        # *frozen* snapshot (cache-key stability) and keeps ``stats_store``
+        # live so observations still land.
+        self.stats_store = stats_store
+        if optimizer is not None:
+            self.optimizer = optimizer
+        else:
+            # Local import: repro.optimizer imports from this package.
+            from ..optimizer import CostBasedOptimizer
+
+            self.optimizer = CostBasedOptimizer(policy, stats=stats_store)
         self.executor = LunaExecutor(context, error_policy=error_policy)
         self.history = QueryHistory()
 
@@ -232,7 +249,7 @@ class Luna:
         )
         tracer = getattr(self.context, "tracer", None)
         if tracer is None:
-            optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
+            optimized, log, report = self._optimize(plan, named_index)
             code = generate_code(optimized)
             writer = self._journal_begin(query_id, question, index, optimized)
             answer, trace = self.executor.execute(
@@ -251,9 +268,7 @@ class Luna:
             try:
                 with tracer.attach(query_span):
                     with tracer.span("plan:optimize", kind="plan"):
-                        optimized, log = self.optimizer.optimize(
-                            plan, schema=named_index.schema
-                        )
+                        optimized, log, report = self._optimize(plan, named_index)
                         code = generate_code(optimized)
                     writer = self._journal_begin(
                         query_id, question, index, optimized
@@ -277,6 +292,13 @@ class Luna:
             # has no duration yet; the query span's own wall time is the
             # honest figure either way.
             trace.cost.wall_clock_s = query_span.duration_s
+        if report is not None:
+            report.record_actuals(trace)
+            trace.optimizer_report = report
+        if self.stats_store is not None and hasattr(self.stats_store, "observe"):
+            # Close the adaptive loop: fold this execution's observed
+            # selectivity/$-per-row back into the live store.
+            self.stats_store.observe(optimized, trace)
         if self.journal is not None and query_id:
             self.journal.commit(query_id, answer)
         result = LunaResult(
@@ -292,6 +314,22 @@ class Luna:
         )
         self.history.record(result)
         return result
+
+    def _optimize(self, plan: LogicalPlan, named_index) -> "tuple":
+        """Run the configured optimizer; returns (plan, log, report|None).
+
+        A :class:`~repro.optimizer.CostBasedOptimizer` also produces the
+        :class:`~repro.optimizer.OptimizerReport` attached to the trace;
+        a plain :class:`LunaOptimizer` yields no report.
+        """
+        if hasattr(self.optimizer, "optimize_with_report"):
+            return self.optimizer.optimize_with_report(
+                plan,
+                schema=named_index.schema,
+                source_rows=float(len(named_index)),
+            )
+        optimized, log = self.optimizer.optimize(plan, schema=named_index.schema)
+        return optimized, log, None
 
     # ------------------------------------------------------------------
     # Crash recovery

@@ -27,6 +27,12 @@ class PlanValidationError(ValueError):
 #: cluster's envelope layer imports it rather than re-declaring it.
 SHARDABLE_OPERATIONS = ("BasicFilter", "LlmFilter", "LlmExtract")
 
+#: Operations the cost-based optimizer may annotate with a cheap-model
+#: draft/verify cascade (see :mod:`repro.optimizer` and
+#: ``docs/OPTIMIZER.md``). Both make one semantic judgement per record
+#: whose confidence the executor can score to decide escalation.
+CASCADE_ELIGIBLE_OPERATIONS = ("LlmFilter", "LlmExtract")
+
 #: operation name -> (required fields, arity). Arity is the number of
 #: inputs the operator consumes: 0 (source), 1, 2, or "+" (1 or more).
 OPERATOR_SPECS: Dict[str, Dict[str, Any]] = {

@@ -50,6 +50,13 @@ class OptimizerPolicy:
     enable_string_substitution: bool = True
     enable_fusion: bool = True
     llm_parallelism: int = 8
+    #: Cheap-model-first cascades (repro.optimizer): eligible semantic
+    #: operators draft on ``cascade_draft_model`` and escalate to the
+    #: policy's model only below ``cascade_confidence_threshold``.
+    cascade: bool = False
+    cascade_draft_model: str = "sim-small"
+    cascade_votes: int = 2
+    cascade_confidence_threshold: float = 0.75
 
 
 QUALITY_POLICY = OptimizerPolicy(
@@ -71,9 +78,21 @@ COST_POLICY = OptimizerPolicy(
     extract_model="sim-small",
     summarize_model="sim-small",
 )
+#: Quality-tier models, but every eligible semantic operator drafts on
+#: sim-small first and only escalates to sim-large on low-confidence
+#: rows — the ScaleDoc-style predicate cascade (docs/OPTIMIZER.md).
+CASCADE_POLICY = OptimizerPolicy(
+    name="cascade",
+    filter_model="sim-large",
+    extract_model="sim-large",
+    summarize_model="sim-large",
+    enable_fusion=False,  # keep cascade decisions per-condition
+    cascade=True,
+)
 
 POLICIES: Dict[str, OptimizerPolicy] = {
-    policy.name: policy for policy in (QUALITY_POLICY, BALANCED_POLICY, COST_POLICY)
+    policy.name: policy
+    for policy in (QUALITY_POLICY, BALANCED_POLICY, COST_POLICY, CASCADE_POLICY)
 }
 
 

@@ -1,0 +1,113 @@
+"""The optimizer's audit trail: estimated vs actual, rewrite by rewrite.
+
+The paper's explainability tenet applies to the optimizer too: a system
+that silently reorders operators or swaps models destroys exactly the
+trust the plan-inspection loop builds. Every cost-based optimization
+emits an :class:`OptimizerReport` — the rewrites applied, the cost the
+model predicted before and after, and (once execution finishes) what the
+plan actually cost — attached to ``LunaResult.trace.optimizer_report``
+and rendered by the ``plan-explain`` CLI verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from .costmodel import PlanEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..luna.executor import ExecutionTrace
+
+
+@dataclass
+class OptimizerReport:
+    """What the cost-based optimizer did to one plan, and how it scored."""
+
+    policy: str = ""
+    #: Fingerprint of the stats snapshot the decisions were made against
+    #: ("" when the optimizer ran priors-only). The serving layer folds
+    #: this same fingerprint into its cache keys.
+    stats_fingerprint: str = ""
+    #: Human-readable rewrite log (same lines as ``optimization_log``).
+    rewrites: List[str] = field(default_factory=list)
+    estimated_before: Optional[PlanEstimate] = None
+    estimated_after: Optional[PlanEstimate] = None
+    #: Filled in after execution by :meth:`record_actuals`.
+    actual_cost_usd: Optional[float] = None
+    actual_llm_calls: Optional[int] = None
+    actual_duration_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def estimated_saving_usd(self) -> float:
+        """Predicted spend removed by the rewrites (>= 0 on success)."""
+        if self.estimated_before is None or self.estimated_after is None:
+            return 0.0
+        return self.estimated_before.cost_usd - self.estimated_after.cost_usd
+
+    def record_actuals(self, trace: "ExecutionTrace") -> None:
+        """Fold the executed trace's real numbers into the report."""
+        self.actual_cost_usd = trace.total_cost_usd()
+        self.actual_llm_calls = trace.total_llm_calls()
+        self.actual_duration_s = sum(e.duration_s for e in trace.entries)
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "stats_fingerprint": self.stats_fingerprint,
+            "rewrites": list(self.rewrites),
+            "estimated_before": (
+                self.estimated_before.as_dict()
+                if self.estimated_before is not None
+                else None
+            ),
+            "estimated_after": (
+                self.estimated_after.as_dict()
+                if self.estimated_after is not None
+                else None
+            ),
+            "estimated_saving_usd": round(self.estimated_saving_usd, 6),
+            "actual_cost_usd": self.actual_cost_usd,
+            "actual_llm_calls": self.actual_llm_calls,
+            "actual_duration_s": self.actual_duration_s,
+        }
+
+    def render(self) -> str:
+        """Human-readable account for explain output and the CLI."""
+        lines = [f"Optimizer report (policy={self.policy or 'none'})"]
+        if self.stats_fingerprint:
+            lines.append(f"  stats fingerprint: {self.stats_fingerprint}")
+        if self.rewrites:
+            lines.append("  rewrites:")
+            lines.extend(f"    - {rewrite}" for rewrite in self.rewrites)
+        else:
+            lines.append("  rewrites: (none applied)")
+        if self.estimated_before is not None and self.estimated_after is not None:
+            before, after = self.estimated_before, self.estimated_after
+            lines.append(
+                f"  estimated cost: ${before.cost_usd:.4f} -> "
+                f"${after.cost_usd:.4f} "
+                f"(saving ${self.estimated_saving_usd:.4f})"
+            )
+            lines.append(
+                f"  estimated latency: {before.latency_s:.2f}s -> "
+                f"{after.latency_s:.2f}s"
+            )
+        if self.actual_cost_usd is not None:
+            drift = ""
+            if self.estimated_after is not None and self.actual_cost_usd > 0:
+                ratio = self.estimated_after.cost_usd / self.actual_cost_usd
+                drift = f" (estimate/actual = {ratio:.2f}x)"
+            lines.append(
+                f"  actual: ${self.actual_cost_usd:.4f}, "
+                f"{self.actual_llm_calls} LLM call(s), "
+                f"{self.actual_duration_s:.2f}s{drift}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["OptimizerReport"]

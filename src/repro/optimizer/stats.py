@@ -1,0 +1,409 @@
+"""The optimizer's statistics store: learned per-operator run facts.
+
+The observability layer already measures everything an optimizer needs —
+per-operator record counts, LLM calls, dollars and wall clock flow into
+every :class:`~repro.luna.executor.ExecutionTrace` — but until now those
+rollups were only *displayed*. :class:`StatsStore` closes the loop: after
+each execution :meth:`StatsStore.observe` folds the trace back into a
+persistent table of per-``(operation, signature, model)`` selectivity,
+$/row and latency/row, and the cost model reads those learned figures in
+preference to its static priors on the next query.
+
+Two details matter for correctness elsewhere in the system:
+
+* **Snapshots.** Serving caches key on optimizer decisions, and a store
+  that shifts under a running :class:`~repro.serving.service.QueryService`
+  would silently change those decisions between identical queries.
+  :meth:`StatsStore.snapshot` returns an immutable, fingerprinted view;
+  the service pins one per epoch and folds its fingerprint into the
+  plan/result cache keys (see ``repro.serving.cache``).
+* **Quantized fingerprints.** The fingerprint hashes *bucketed*
+  selectivity and $/row (not raw floats), so one more observation that
+  barely moves an estimate does not churn cache keys.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..execution.materialize import stable_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (luna -> optimizer)
+    from ..luna.executor import ExecutionTrace
+    from ..luna.operators import LogicalPlan, PlanNode
+
+#: Operations whose run facts are worth learning. Sources and scalar
+#: tail operators (Count, Math, ...) cost nothing per row.
+OBSERVED_OPERATIONS = (
+    "QueryIndex",
+    "BasicFilter",
+    "LlmFilter",
+    "LlmExtract",
+    "Summarize",
+)
+
+#: (operation, signature, model) — the store's key space.
+StatsKey = Tuple[str, str, str]
+
+
+def node_signature(node: "PlanNode") -> str:
+    """The learned-statistics signature of a plan node.
+
+    Selectivity is a property of *what* the operator asks, not where it
+    sits in a plan: an ``LlmFilter`` keys on its (normalized) condition,
+    a ``BasicFilter`` on field+comparator, an ``LlmExtract`` on the
+    extracted field. Unknown operations key on the empty signature and
+    only contribute to operation-level aggregates.
+    """
+    op = node.operation
+    if op == "LlmFilter":
+        condition = str(node.params.get("condition", ""))
+        return " ".join(condition.lower().split())
+    if op == "BasicFilter":
+        return f"{node.params.get('field')}:{node.params.get('op')}"
+    if op == "LlmExtract":
+        return str(node.params.get("field", ""))
+    if op in ("QueryIndex", "FromDocuments"):
+        return str(node.params.get("index", ""))
+    return ""
+
+
+def node_model_key(node: "PlanNode") -> str:
+    """The model component of a node's stats key.
+
+    A cascaded node's $/row mixes draft and verify calls, so cascade
+    observations must not pollute the plain per-model estimates: the
+    cascade configuration is folded into the key.
+    """
+    model = str(node.params.get("model") or "")
+    cascade = node.params.get("cascade")
+    if isinstance(cascade, dict):
+        return (
+            f"{model}+cascade:{cascade.get('draft_model')}"
+            f"x{cascade.get('draft_votes')}@{cascade.get('confidence_threshold')}"
+        )
+    return model
+
+
+@dataclass
+class OperatorStats:
+    """Accumulated run facts for one stats key (additive counters)."""
+
+    operation: str
+    signature: str = ""
+    model: str = ""
+    observations: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    cost_usd: float = 0.0
+    llm_calls: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        """Observed rows_out / rows_in, or None before any rows flowed."""
+        if self.rows_in <= 0:
+            return None
+        return min(1.0, self.rows_out / self.rows_in)
+
+    @property
+    def cost_per_row(self) -> Optional[float]:
+        """Observed dollars per input row, or None before any rows flowed."""
+        if self.rows_in <= 0:
+            return None
+        return self.cost_usd / self.rows_in
+
+    @property
+    def latency_per_row(self) -> Optional[float]:
+        """Observed seconds per input row, or None before any rows flowed."""
+        if self.rows_in <= 0:
+            return None
+        return self.duration_s / self.rows_in
+
+    def fold(self, rows_in: int, rows_out: int, cost_usd: float,
+             llm_calls: int, duration_s: float) -> None:
+        self.observations += 1
+        self.rows_in += max(0, rows_in)
+        self.rows_out += max(0, rows_out)
+        self.cost_usd += max(0.0, cost_usd)
+        self.llm_calls += max(0, llm_calls)
+        self.duration_s += max(0.0, duration_s)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _quantize_selectivity(value: Optional[float]) -> Optional[float]:
+    """0.05-wide buckets: small drifts don't move the fingerprint."""
+    if value is None:
+        return None
+    return round(round(value * 20.0) / 20.0, 2)
+
+
+def _quantize_cost(value: Optional[float]) -> Optional[float]:
+    """Decade-tenth log buckets for $/row (spans sim-small to sim-large)."""
+    if value is None or value <= 0.0:
+        return None
+    return round(math.log10(value), 1)
+
+
+class _StatsView:
+    """Shared lookup logic over an ``{key: OperatorStats}`` mapping.
+
+    Lookups fall back from the exact ``(op, signature, model)`` entry to
+    the operation-level aggregate — a fresh condition still benefits from
+    what the store learned about LlmFilters in general.
+    """
+
+    _entries: Dict[StatsKey, OperatorStats]
+
+    def lookup(
+        self, operation: str, signature: str = "", model: str = ""
+    ) -> Optional[OperatorStats]:
+        """The exact entry for the key, or None."""
+        return self._entries.get((operation, signature, model))
+
+    def _aggregate(self, operation: str) -> Optional[OperatorStats]:
+        rows = [s for (op, _, _), s in self._entries.items() if op == operation]
+        if not rows:
+            return None
+        total = OperatorStats(operation=operation)
+        for s in rows:
+            total.fold(s.rows_in, s.rows_out, s.cost_usd, s.llm_calls, s.duration_s)
+        return total
+
+    def selectivity(
+        self, operation: str, signature: str = "", model: str = ""
+    ) -> Optional[float]:
+        """Learned selectivity, exact-key first then operation-level."""
+        exact = self.lookup(operation, signature, model)
+        if exact is not None and exact.selectivity is not None:
+            return exact.selectivity
+        # Selectivity is model-independent to first order; accept any
+        # model's observation of the same signature before aggregating.
+        for (op, sig, _), s in sorted(self._entries.items()):
+            if op == operation and sig == signature and s.selectivity is not None:
+                return s.selectivity
+        aggregate = self._aggregate(operation)
+        return aggregate.selectivity if aggregate is not None else None
+
+    def cost_per_row(
+        self, operation: str, signature: str = "", model: str = ""
+    ) -> Optional[float]:
+        """Learned $/row for the exact key (model-specific; no cross-model
+        fallback — a sim-small observation says nothing about sim-large)."""
+        exact = self.lookup(operation, signature, model)
+        if exact is not None and exact.cost_per_row is not None:
+            return exact.cost_per_row
+        for (op, _, mk), s in sorted(self._entries.items()):
+            if op == operation and mk == model and s.cost_per_row is not None:
+                return s.cost_per_row
+        return None
+
+    def latency_per_row(
+        self, operation: str, signature: str = "", model: str = ""
+    ) -> Optional[float]:
+        """Learned seconds/row under the same fallback rules as $/row."""
+        exact = self.lookup(operation, signature, model)
+        if exact is not None and exact.latency_per_row is not None:
+            return exact.latency_per_row
+        for (op, _, mk), s in sorted(self._entries.items()):
+            if op == operation and mk == model and s.latency_per_row is not None:
+                return s.latency_per_row
+        return None
+
+    def fingerprint(self) -> str:
+        """Stable fingerprint of the store's quantized decisions."""
+        payload = [
+            [
+                op,
+                sig,
+                model,
+                _quantize_selectivity(s.selectivity),
+                _quantize_cost(s.cost_per_row),
+            ]
+            for (op, sig, model), s in sorted(self._entries.items())
+        ]
+        return stable_fingerprint(payload)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "fingerprint": self.fingerprint(),
+            "entries": [
+                s.as_dict() for _, s in sorted(self._entries.items())
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class StatsSnapshot(_StatsView):
+    """An immutable view of a :class:`StatsStore` at one instant.
+
+    The serving layer optimizes every query of an epoch against the same
+    snapshot, so identical questions keep producing identical plans (and
+    identical cache keys) no matter how many observations land in the
+    live store meanwhile.
+    """
+
+    _entries: Dict[StatsKey, OperatorStats] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StatsStore(_StatsView):
+    """Thread-safe, optionally disk-backed operator statistics.
+
+    ``path`` enables persistence: an existing file is loaded eagerly and
+    :meth:`save` writes the whole table back (atomic rename). Without a
+    path the store is memory-only — still useful within one process.
+    """
+
+    def __init__(self, path: "Path | str | None" = None, registry=None):
+        self.path = Path(path) if path is not None else None
+        # Reentrant: the shared _StatsView logic calls back into this
+        # class's lock-wrapped lookup() from inside selectivity() etc.
+        self._lock = threading.RLock()
+        self._entries: Dict[StatsKey, OperatorStats] = {}
+        if registry is None:
+            from ..observability.metrics import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self._m_observations = registry.counter("optimizer.stats_observations")
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(self, plan: "LogicalPlan", trace: "ExecutionTrace") -> int:
+        """Fold one execution's trace back into the store.
+
+        Pairs plan nodes with trace entries by node index. Replayed
+        (journal-recovered) and degraded entries are skipped — zero-cost
+        replays and pass-through failures would corrupt the estimates.
+        Returns the number of entries folded.
+        """
+        folded = 0
+        with self._lock:
+            for entry in trace.entries:
+                if entry.replayed or entry.error is not None:
+                    continue
+                if not 0 <= entry.index < len(plan.nodes):
+                    continue
+                node = plan.nodes[entry.index]
+                if node.operation != entry.operation:
+                    continue
+                if node.operation not in OBSERVED_OPERATIONS:
+                    continue
+                key = (
+                    node.operation,
+                    node_signature(node),
+                    node_model_key(node),
+                )
+                stats = self._entries.get(key)
+                if stats is None:
+                    stats = OperatorStats(
+                        operation=key[0], signature=key[1], model=key[2]
+                    )
+                    self._entries[key] = stats
+                stats.fold(
+                    rows_in=entry.records_in,
+                    rows_out=entry.records_out,
+                    cost_usd=entry.llm_cost_usd,
+                    llm_calls=entry.llm_calls,
+                    duration_s=entry.duration_s,
+                )
+                folded += 1
+        if folded:
+            self._m_observations.inc(folded)
+        return folded
+
+    # ------------------------------------------------------------------
+    # Lookup (lock-wrapped versions of the shared view logic)
+    # ------------------------------------------------------------------
+
+    def lookup(self, operation, signature="", model=""):
+        with self._lock:
+            return super().lookup(operation, signature, model)
+
+    def selectivity(self, operation, signature="", model=""):
+        with self._lock:
+            return super().selectivity(operation, signature, model)
+
+    def cost_per_row(self, operation, signature="", model=""):
+        with self._lock:
+            return super().cost_per_row(operation, signature, model)
+
+    def latency_per_row(self, operation, signature="", model=""):
+        with self._lock:
+            return super().latency_per_row(operation, signature, model)
+
+    def fingerprint(self) -> str:
+        with self._lock:
+            return super().fingerprint()
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return super().as_dict()
+
+    def snapshot(self) -> StatsSnapshot:
+        """An immutable copy of the current table (see class docs)."""
+        with self._lock:
+            copied = {
+                key: OperatorStats(**stats.as_dict())
+                for key, stats in self._entries.items()
+            }
+        return StatsSnapshot(_entries=copied)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: "Path | str | None" = None) -> Path:
+        """Write the table as JSON (atomic rename); returns the path."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("StatsStore has no path; pass one to save()")
+        payload = self.as_dict()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(target)
+        return target
+
+    def load(self, path: "Path | str | None" = None) -> int:
+        """Replace the table from a JSON file; returns the entry count."""
+        source = Path(path) if path is not None else self.path
+        if source is None:
+            raise ValueError("StatsStore has no path; pass one to load()")
+        payload = json.loads(source.read_text())
+        entries: Dict[StatsKey, OperatorStats] = {}
+        for row in payload.get("entries", []):
+            stats = OperatorStats(**row)
+            entries[(stats.operation, stats.signature, stats.model)] = stats
+        with self._lock:
+            self._entries = entries
+            return len(self._entries)
+
+
+__all__ = [
+    "OBSERVED_OPERATIONS",
+    "OperatorStats",
+    "StatsSnapshot",
+    "StatsStore",
+    "node_model_key",
+    "node_signature",
+]

@@ -65,22 +65,37 @@ def index_fingerprint(index: NamedIndex) -> str:
 
 
 def plan_cache_key(
-    question: str, index: NamedIndex, secondary: Sequence[NamedIndex] = ()
+    question: str,
+    index: NamedIndex,
+    secondary: Sequence[NamedIndex] = (),
+    optimizer_fingerprint: str = "",
 ) -> Tuple[Any, ...]:
-    """Cache key for a reusable logical plan."""
+    """Cache key for a reusable logical plan.
+
+    ``optimizer_fingerprint`` captures the optimizer decisions baked into
+    the cached plan — policy name plus the (quantized) fingerprint of the
+    statistics snapshot the cost-based rewrites consulted. Two epochs
+    whose statistics would rewrite the plan differently therefore cache
+    under different keys; within an epoch the fingerprint is frozen so
+    hit rates are unaffected (see ``QueryService.refresh_optimizer``).
+    """
     return (
         normalize_question(question),
         index.name,
         index_fingerprint(index),
         tuple((s.name, index_fingerprint(s)) for s in secondary),
+        optimizer_fingerprint,
     )
 
 
 def result_cache_key(
-    question: str, index: NamedIndex, secondary: Sequence[NamedIndex] = ()
+    question: str,
+    index: NamedIndex,
+    secondary: Sequence[NamedIndex] = (),
+    optimizer_fingerprint: str = "",
 ) -> Tuple[Any, ...]:
     """Cache key for a finished answer: the plan key plus corpus versions."""
-    return plan_cache_key(question, index, secondary) + (
+    return plan_cache_key(question, index, secondary, optimizer_fingerprint) + (
         index.version,
         tuple(s.version for s in secondary),
     )

@@ -108,6 +108,10 @@ class ServiceConfig:
     #: attaches a :class:`repro.cluster.ClusterCoordinator` to the
     #: context (unless one is already injected) and owns its lifecycle.
     cluster_workers: int = 0
+    #: Disk path for the adaptive optimizer's statistics store (None =
+    #: memory-only). Loaded at startup, saved on close, so learned
+    #: selectivity/$-per-row figures survive service restarts.
+    optimizer_stats_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -348,6 +352,20 @@ class QueryService:
         #: EMA of recent per-query latency, feeding Overloaded.retry_after_s.
         self._latency_ema_s = 0.0
         self._luna_local = threading.local()
+        # Adaptive optimizer state. Every execution feeds observed
+        # operator statistics into the live store, but decisions are made
+        # against a *frozen* snapshot pinned per epoch: identical
+        # questions within an epoch optimize identically, so the epoch's
+        # fingerprint can key the plan/result caches without destroying
+        # hit rates. ``refresh_optimizer`` rolls the epoch.
+        from ..optimizer import StatsStore
+
+        self.stats_store = StatsStore(
+            path=self.config.optimizer_stats_path, registry=self.registry
+        )
+        self._optimizer_lock = threading.Lock()
+        self._optimizer_epoch = 0
+        self._stats_snapshot = self.stats_store.snapshot()
         # Scatter/gather back-end: served queries route large per-record
         # LLM operators through worker processes (see repro.cluster).
         # Lazy import — serving is on the luna -> cluster -> serving
@@ -547,17 +565,52 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _luna(self) -> Luna:
-        """This worker thread's private Luna facade (lazily built)."""
+        """This worker thread's private Luna facade (lazily built).
+
+        Rebuilt when the optimizer epoch rolls: each worker's optimizer
+        is pinned to the epoch's frozen statistics snapshot, while the
+        live store (shared) keeps accumulating observations.
+        """
+        with self._optimizer_lock:
+            epoch = self._optimizer_epoch
+            snapshot = self._stats_snapshot
         luna = getattr(self._luna_local, "luna", None)
-        if luna is None:
+        if luna is None or getattr(self._luna_local, "epoch", -1) != epoch:
+            from ..optimizer import CostBasedOptimizer
+
             luna = Luna(
                 self.context,
                 planner_model=self.config.planner_model,
                 policy=self.config.policy,
                 error_policy=self.config.error_policy,
+                stats_store=self.stats_store,
+                optimizer=CostBasedOptimizer(
+                    self.config.policy, stats=snapshot, registry=self.registry
+                ),
             )
             self._luna_local.luna = luna
+            self._luna_local.epoch = epoch
         return luna
+
+    def optimizer_fingerprint(self) -> str:
+        """The cache-key component carrying this epoch's optimizer
+        decisions: policy name + frozen statistics fingerprint."""
+        with self._optimizer_lock:
+            return f"{self.config.policy}:{self._stats_snapshot.fingerprint()}"
+
+    def refresh_optimizer(self) -> str:
+        """Roll the optimizer epoch: re-snapshot the live statistics.
+
+        Queries served after the refresh optimize against everything
+        learned so far (and cache under the new fingerprint); queries
+        in flight keep their epoch's snapshot. Returns the new
+        fingerprint.
+        """
+        snapshot = self.stats_store.snapshot()
+        with self._optimizer_lock:
+            self._optimizer_epoch += 1
+            self._stats_snapshot = snapshot
+            return f"{self.config.policy}:{snapshot.fingerprint()}"
 
     def _worker_loop(self) -> None:
         while True:
@@ -731,7 +784,12 @@ class QueryService:
                 self._charge_execution(ticket.tenant, result, charges)
                 return result
 
-            rkey = result_cache_key(ticket.question, index_obj, secondary_objs)
+            rkey = result_cache_key(
+                ticket.question,
+                index_obj,
+                secondary_objs,
+                optimizer_fingerprint=self.optimizer_fingerprint(),
+            )
             # reelect_on: if the single-flight leader's query is
             # cancelled, surviving followers re-elect a new leader
             # instead of inheriting a cancellation that isn't theirs.
@@ -824,7 +882,12 @@ class QueryService:
                 plan_trace_id=plan_span.trace_id,
             )
 
-        pkey = plan_cache_key(ticket.question, index_obj, secondary_objs)
+        pkey = plan_cache_key(
+            ticket.question,
+            index_obj,
+            secondary_objs,
+            optimizer_fingerprint=self.optimizer_fingerprint(),
+        )
         entry, outcome = self.plan_cache.get_or_compute(
             pkey, compute_plan, reelect_on=(QueryCancelled,)
         )
@@ -959,6 +1022,9 @@ class QueryService:
             )
         for worker in self._workers:
             worker.join(timeout=timeout)
+        if self.config.optimizer_stats_path is not None:
+            # Persist learned operator statistics across restarts.
+            self.stats_store.save()
         if self._owned_cluster is not None:
             self._owned_cluster.close()
             if getattr(self.context, "cluster", None) is self._owned_cluster:
@@ -995,6 +1061,12 @@ class QueryService:
             "result_cache": self.result_cache.stats(),
             "saved_usd": round(self._m_saved_usd.value(), 6),
             "tenants": tenants,
+            "optimizer": {
+                "policy": self.config.policy,
+                "epoch": self._optimizer_epoch,
+                "fingerprint": self.optimizer_fingerprint(),
+                "stats_entries": len(self.stats_store),
+            },
         }
         cluster = getattr(self.context, "cluster", None)
         if cluster is not None:

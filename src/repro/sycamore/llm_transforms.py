@@ -207,6 +207,113 @@ def make_llm_filter_fn(
     return predicate
 
 
+def make_cascade_filter_fn(
+    context: SycamoreContext,
+    condition: str,
+    verify_model: str,
+    draft_model: str,
+    draft_votes: int = 2,
+    confidence_threshold: float = 0.75,
+    num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
+) -> Callable[[Document], bool]:
+    """Draft/verify semantic filter (the optimizer's predicate cascade).
+
+    Each document is judged ``draft_votes`` times on the cheap
+    ``draft_model``; the vote-agreement fraction is the confidence. Below
+    ``confidence_threshold`` the document escalates to ``verify_model``
+    with the *same* prompt a plain :func:`make_llm_filter_fn` would send —
+    escalated rows therefore get exactly the answer the expensive filter
+    would have produced. A threshold of 0 never escalates; above 1 every
+    row escalates (the cascade degenerates to the plain filter plus draft
+    overhead). Semantics and cost math: ``docs/OPTIMIZER.md``.
+    """
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(FILTER_DOCUMENT, condition=condition)
+    votes = max(1, int(draft_votes))
+    from ..observability.metrics import get_registry
+
+    registry = get_registry()
+    m_drafts = registry.counter("optimizer.cascade_drafts")
+    m_escalations = registry.counter("optimizer.cascade_escalations")
+
+    def predicate(document: Document) -> bool:
+        base_prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
+        )
+        ballots = []
+        for vote in range(votes):
+            prompt = base_prompt
+            if vote:
+                # Re-votes append an instruction section; the condition and
+                # document are untouched (same ground truth), but the
+                # changed prompt decorrelates per-call model noise.
+                prompt = append_section(
+                    prompt, "recheck", f"Independent re-check #{vote}."
+                )
+            answer = llm.complete(prompt, model=draft_model).text
+            ballots.append(answer.strip().lower().startswith("y"))
+        m_drafts.inc(votes)
+        agreement = max(ballots.count(True), ballots.count(False)) / votes
+        if agreement < confidence_threshold or confidence_threshold > 1.0:
+            m_escalations.inc()
+            answer = llm.complete(base_prompt, model=verify_model).text
+            return answer.strip().lower().startswith("y")
+        return ballots.count(True) > ballots.count(False) or (
+            ballots.count(True) == ballots.count(False) and ballots[0]
+        )
+
+    return predicate
+
+
+def make_cascade_extract_fn(
+    context: SycamoreContext,
+    schema: Dict[str, str],
+    verify_model: str,
+    draft_model: str,
+    confidence_threshold: float = 0.75,
+    num_elements: Optional[int] = None,
+    priority: "Priority | str" = Priority.BULK,
+) -> Callable[[Document], Document]:
+    """Draft/verify property extraction (the optimizer's cascade).
+
+    One draft extraction runs on ``draft_model``; its confidence is 1.0
+    when every schema field came back non-null and 0.0 otherwise (a null
+    is the model saying "I could not find it" — exactly the row worth the
+    expensive retry). Low-confidence rows re-extract on ``verify_model``
+    with the plain prompt. Threshold 0 never escalates; above 1 always.
+    """
+    schema_json = json.dumps(schema, sort_keys=True)
+    llm = context.llm_for(priority)
+    prefix = _template_prefix(EXTRACT_PROPERTIES, schema=schema_json)
+    from ..observability.metrics import get_registry
+
+    registry = get_registry()
+    m_drafts = registry.counter("optimizer.cascade_drafts")
+    m_escalations = registry.counter("optimizer.cascade_escalations")
+
+    def extract(document: Document) -> Document:
+        prompt = append_section(
+            prefix, "document", _document_text(document, num_elements)
+        )
+        values = llm.complete_json(prompt, model=draft_model)
+        m_drafts.inc()
+        confident = isinstance(values, dict) and all(
+            values.get(key) is not None for key in schema
+        )
+        confidence = 1.0 if confident else 0.0
+        if confidence < confidence_threshold or confidence_threshold > 1.0:
+            m_escalations.inc()
+            values = llm.complete_json(prompt, model=verify_model)
+        result = document.copy()
+        if isinstance(values, dict):
+            for key in schema:
+                result.properties[key] = values.get(key)
+        return result
+
+    return extract
+
+
 def make_summarize_fn(
     context: SycamoreContext,
     output_property: str = "summary",
