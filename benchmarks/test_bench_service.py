@@ -1,0 +1,92 @@
+"""E17 — gateway load: concurrent multi-tenant clients over real sockets.
+
+Where ``test_bench_serving.py`` measures the serving layer in-process,
+this benchmark measures the full network stack the gateway adds: every
+request here is a real TCP connect + HTTP round trip through the
+middleware stack into a SimulatedLLM-backed :class:`repro.gateway.Gateway`
+(see :mod:`repro.gateway.bench` for the phases).
+
+Results land in ``BENCH_service.json`` at the repo root (uploaded as a
+CI artifact). Gates (ISSUE 9):
+
+* warm cache-hit traffic over sockets sustains ≥3x cold sequential;
+* a 2x-over-capacity burst sheds typed 429s with nonzero ``Retry-After``
+  while zero in-flight (admitted) queries are dropped.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import print_table
+from repro.gateway.bench import render_results, run_gateway_benchmark
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+N_DOCS = 24
+REPEATS = 3
+TENANTS = 3
+WORKERS = 4
+LATENCY_SCALE = 0.01
+
+
+def test_bench_service(benchmark):
+    results = benchmark.pedantic(
+        run_gateway_benchmark,
+        kwargs=dict(
+            n_docs=N_DOCS,
+            repeats=REPEATS,
+            tenants=TENANTS,
+            workers=WORKERS,
+            latency_scale=LATENCY_SCALE,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    modes = results["modes"]
+    rows = [
+        [
+            name,
+            row["requests"],
+            f"{row['elapsed_s']:.3f}s",
+            f"{row['qps']:.1f}",
+            f"{row['p50_ms']:.1f}ms",
+            f"{row['p99_ms']:.1f}ms",
+            f"{row.get('speedup_vs_cold', 1.0):.2f}x",
+        ]
+        for name, row in modes.items()
+    ]
+    print_table(
+        "E17: gateway load (multi-tenant clients over real sockets)",
+        ["mode", "reqs", "elapsed", "qps", "p50", "p99", "speedup"],
+        rows,
+    )
+    print()
+    print(render_results(results))
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    warm = modes["warm_concurrent"]
+    burst = results["burst"]
+
+    # The gates the issue specifies.
+    assert results["answers_agree"], "gateway answers diverged across phases"
+    # Warm cache-hit socket traffic sustains >= 3x cold sequential.
+    assert warm["speedup_vs_cold"] >= 3.0
+    assert warm["cache_hit_rate"] >= 0.9
+    # 2x burst sheds typed 429s with a nonzero Retry-After hint...
+    assert burst["shed_429"] > 0
+    assert burst["all_sheds_typed"]
+    assert burst["min_retry_after_s"] > 0
+    # ...while zero in-flight queries are dropped: every admitted request
+    # completed with an answer, nothing failed untyped.
+    assert burst["completed"] + burst["shed_429"] == burst["requests"]
+    assert burst["other_failures"] == 0
+    assert burst["all_completed_answered"]
+    assert burst["service_failed"] == 0
+    assert burst["service_completed"] == burst["completed"]
+    # The tenants that drove warm traffic all saved money via the caches.
+    for totals in results["tenants"].values():
+        assert totals["saved_usd"] > 0 or totals["cost_usd"] > 0

@@ -28,6 +28,7 @@ DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/OPTIMIZER.md",
     "docs/OPERATORS.md",
+    "docs/GATEWAY.md",
 ]
 
 MD_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")

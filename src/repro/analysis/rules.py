@@ -32,6 +32,12 @@ Rule catalog (ids):
   (``repro.serving`` / ``repro.runtime`` / ``repro.execution`` /
   ``repro.cluster``), where every wait must derive its timeout from
   the query's remaining deadline budget.
+* ``handler-blocking-io`` — unbounded blocking I/O in the gateway
+  package (``repro.gateway``), where every route and handler runs on a
+  per-connection server thread: ``.result()`` with no timeout pins a
+  connection thread for as long as the query takes, and a zero-arg
+  ``.read()``/``.readline()`` on a socket-backed stream trusts the peer
+  to ever finish sending.
 * ``nonpicklable-task-capture`` — a lambda, nested function, or
   lock-like object passed into a cross-process task envelope
   (``TaskEnvelope``/``ShardOp``/``ShardPlanSpec``/``WorkerConfig``) or
@@ -65,6 +71,7 @@ METRIC_NAMESPACES: Tuple[str, ...] = (
     "lifecycle.",
     "cluster.",
     "optimizer.",
+    "gateway.",
 )
 
 #: Terminal-name heuristic for "this expression is a lock-like object".
@@ -729,4 +736,68 @@ class NaiveWallClock(Rule):
                     call,
                     f"naive {receiver}.{func.attr}(); pass an explicit "
                     f"timezone (or use monotonic clocks for durations)",
+                )
+
+
+# ----------------------------------------------------------------------
+# handler-blocking-io
+# ----------------------------------------------------------------------
+
+
+@register
+class HandlerBlockingIo(Rule):
+    id = "handler-blocking-io"
+    description = (
+        "Gateway code runs on per-connection server threads: an "
+        "unbounded .result() pins a connection thread for as long as "
+        "the query takes, and a zero-arg .read()/.readline() on a "
+        "socket-backed stream blocks until the peer decides to finish."
+    )
+
+    #: The network front end: everything here is handler-adjacent (route
+    #: methods, middleware, SSE pumps all execute on connection threads).
+    _GATEWAY_PATHS = ("repro/gateway",)
+
+    #: Receiver names that are socket-backed streams in this package
+    #: (BaseHTTPRequestHandler rfile/wfile, http.client responses).
+    _STREAM_RE = re.compile(
+        r"(?:^|_)(?:rfile|wfile|sock|socket|conn|connection|response|resp|"
+        r"stream|fp)s?$"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if not any(fragment in normalized for fragment in self._GATEWAY_PATHS):
+            return
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = ast.unparse(func.value)
+            if func.attr == "result":
+                if TimeoutNotPropagated._has_timeout(call):
+                    continue
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"'{receiver}.result()' without a timeout on a "
+                    f"connection thread: one slow query pins one HTTP "
+                    f"connection forever; bound it (sync_timeout_s)",
+                )
+            elif func.attr in ("read", "readline"):
+                if call.args or call.keywords:
+                    continue  # bounded read (explicit byte count)
+                name = _terminal_name(func.value)
+                if name is None or not self._STREAM_RE.search(
+                    name.strip("_").lower()
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"zero-arg '{receiver}.{func.attr}()' on a socket "
+                    f"stream reads until the peer closes; pass an explicit "
+                    f"bound (Content-Length or a max line size)",
                 )

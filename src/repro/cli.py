@@ -622,6 +622,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.service_queue_depth,
         policy=args.policy,
     )
+    if args.port is not None:
+        return _serve_gateway(args, ctx, config)
     default_question = "How many incidents were caused by wind?"
     if args.once:
         # The canned demo: the same question submitted concurrently (one
@@ -674,6 +676,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"tenant {args.tenant!r}: spent ${ledger.cost_usd:.4f}, "
             f"saved ${ledger.saved_usd:.4f} via serving caches"
         )
+    return 0
+
+
+def _serve_gateway(args: argparse.Namespace, ctx: Any, config: Any) -> int:
+    """``serve --port N``: a real HTTP server in front of QueryService.
+
+    Binds (port 0 = ephemeral), optionally writes the bound port to
+    ``--port-file`` so scripts can discover it, then blocks until
+    SIGTERM/SIGINT and drains gracefully (every admitted query finishes
+    before exit).
+    """
+    from .gateway import Gateway, GatewayConfig
+    from .serving import QueryService
+
+    tokens = dict(pair.split("=", 1) for pair in args.token or [])
+    gateway = Gateway(
+        QueryService(ctx, config),
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            tokens=tokens or None,
+            rate_per_s=args.rate,
+            log_sink=print if args.access_log else None,
+        ),
+    ).start()
+    gateway.install_signal_handlers()
+    print(f"gateway listening on http://{gateway.host}:{gateway.port}")
+    print(f"  POST /v1/query {{'question': ..., 'index': {args.dataset!r}}}")
+    print("  GET  /ops/health /ops/metrics /ops/stats ...  (SIGTERM drains)")
+    if args.port_file:
+        from pathlib import Path
+
+        Path(args.port_file).write_text(str(gateway.port), encoding="utf-8")
+    try:
+        gateway.wait_for_shutdown()
+    finally:
+        print("draining gateway...")
+        gateway.close(drain=True)
+        print("gateway closed")
     return 0
 
 
@@ -1007,6 +1048,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="admission bound (past it, submissions are shed)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve over HTTP on this port (0 = ephemeral) instead of "
+        "answering in-process; SIGTERM drains gracefully",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts)",
+    )
+    serve.add_argument(
+        "--token",
+        action="append",
+        metavar="TOKEN=TENANT",
+        help="enable bearer auth; repeatable credential table entries",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-tenant token-bucket rate limit (requests/s; 0 = off)",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="print one structured access-log line per request",
     )
     serve.set_defaults(handler=_cmd_serve)
 

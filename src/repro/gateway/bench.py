@@ -1,0 +1,313 @@
+"""The gateway load experiment: multi-tenant clients over real sockets.
+
+One callable, :func:`run_gateway_benchmark`, starts a SimulatedLLM-backed
+:class:`~repro.gateway.server.Gateway` on an ephemeral port and drives it
+with :class:`~repro.gateway.client.GatewayClient` instances — every
+number in ``BENCH_service.json`` includes the full network path (connect,
+HTTP parse, middleware, JSON) rather than in-process function calls.
+
+Three phases:
+
+* **cold_sequential** — each distinct question once, one client, one
+  request at a time: the cost of a cache-miss query over the socket.
+* **warm_concurrent** — the warmed gateway under concurrent multi-tenant
+  traffic repeating those questions: the serving caches absorb the
+  repeats, so this is the cache-hit throughput ceiling the ISSUE gates
+  at ≥3x cold sequential.
+* **burst** — a deliberately tiny service (one worker, depth-2 queue,
+  slow simulated backend) hit with 2x more concurrent requests than it
+  can hold: the overflow must shed as *typed* HTTP 429s carrying a
+  nonzero ``Retry-After``, while every admitted request completes (zero
+  in-flight queries dropped).
+
+The pytest benchmark (``benchmarks/test_bench_service.py``) is a thin
+wrapper that enforces the gates and writes ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..datagen import generate_ntsb_corpus
+from ..llm import ReliableLLM, SimulatedLLM
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Tracer
+from ..partitioner import ArynPartitioner
+from ..serving import QueryService, ServiceConfig
+from ..sycamore.context import SycamoreContext
+from .client import GatewayClient, GatewayError
+from .server import Gateway, GatewayConfig
+
+NTSB_SCHEMA = {
+    "state": "string",
+    "incident_year": "int",
+    "weather_related": "bool",
+    "injuries_fatal": "int",
+    "cause": "string",
+}
+
+#: The question mix; repeats of these are what the serving caches absorb.
+QUESTIONS = [
+    "How many incidents were caused by wind?",
+    "How many incidents were caused by icing?",
+    "How many incidents happened in 2023?",
+    "How many incidents had fatal injuries?",
+]
+
+
+def _build_context(
+    n_docs: int, seed: int, latency_scale: float, parallelism: int
+) -> SycamoreContext:
+    """A self-contained NTSB context: private registry/tracer, no LLM
+    response cache (the serving caches must do all the saving)."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    llm = ReliableLLM(
+        SimulatedLLM(seed=seed, real_latency_scale=latency_scale),
+        cache_enabled=False,
+        tracer=tracer,
+        registry=registry,
+    )
+    ctx = SycamoreContext(
+        llm=llm,
+        parallelism=parallelism,
+        seed=seed,
+        tracer=tracer,
+        registry=registry,
+    )
+    _, raws = generate_ntsb_corpus(n_docs, seed=seed)
+    (
+        ctx.read.raw(raws)
+        .partition(ArynPartitioner(seed=0))
+        .extract_properties(NTSB_SCHEMA, model="sim-large")
+        .write.index("ntsb")
+    )
+    return ctx
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _phase_stats(latencies_ms: List[float], elapsed_s: float) -> Dict[str, Any]:
+    return {
+        "requests": len(latencies_ms),
+        "elapsed_s": round(elapsed_s, 4),
+        "qps": round(len(latencies_ms) / elapsed_s, 2) if elapsed_s > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 2),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 2),
+    }
+
+
+def run_gateway_benchmark(
+    n_docs: int = 24,
+    repeats: int = 3,
+    tenants: int = 3,
+    workers: int = 4,
+    latency_scale: float = 0.01,
+    seed: int = 13,
+    questions: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Run all three phases; returns the JSON-ready results dict."""
+    questions = list(questions or QUESTIONS)
+    tenant_names = [f"tenant-{i}" for i in range(tenants)]
+
+    ctx = _build_context(n_docs, seed, latency_scale, parallelism=workers)
+    gateway = Gateway(
+        QueryService(ctx, ServiceConfig(max_workers=workers)),
+    ).start()
+    try:
+        client = GatewayClient("127.0.0.1", gateway.port, timeout_s=120.0)
+
+        # -- cold sequential: every distinct question is a miss ---------
+        cold_lat: List[float] = []
+        started = time.perf_counter()
+        cold_answers: Dict[str, Any] = {}
+        for question in questions:
+            t0 = time.perf_counter()
+            served = client.query(question, index="ntsb", tenant=tenant_names[0])
+            cold_lat.append((time.perf_counter() - t0) * 1000.0)
+            cold_answers[question] = served["answer"]
+            assert served["result_cache"] == "miss"
+        cold_elapsed = time.perf_counter() - started
+
+        # -- warm concurrent: multi-tenant repeats over the same mix ----
+        mix: List[Tuple[str, str]] = []
+        for repeat in range(repeats):
+            for i, question in enumerate(questions):
+                mix.append((tenant_names[(i + repeat) % tenants], question))
+        warm_lat: List[float] = []
+        warm_outcomes: List[str] = []
+        answers_agree = [True]
+        lock = threading.Lock()
+
+        def drive(tenant: str, question: str) -> None:
+            worker_client = GatewayClient(
+                "127.0.0.1", gateway.port, timeout_s=120.0
+            )
+            t0 = time.perf_counter()
+            served = worker_client.query(question, index="ntsb", tenant=tenant)
+            lat = (time.perf_counter() - t0) * 1000.0
+            with lock:
+                warm_lat.append(lat)
+                warm_outcomes.append(served["result_cache"])
+                if served["answer"] != cold_answers[question]:
+                    answers_agree[0] = False
+
+        threads = [
+            threading.Thread(target=drive, args=pair, daemon=True)
+            for pair in mix
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        warm_elapsed = time.perf_counter() - started
+
+        cold = _phase_stats(cold_lat, cold_elapsed)
+        warm = _phase_stats(warm_lat, warm_elapsed)
+        warm["speedup_vs_cold"] = (
+            round(warm["qps"] / cold["qps"], 2) if cold["qps"] else 0.0
+        )
+        hits = sum(1 for outcome in warm_outcomes if outcome in ("hit", "coalesced"))
+        warm["cache_hit_rate"] = round(hits / len(warm_outcomes), 3)
+        gateway_stats = gateway.stats()
+        tenant_ledgers = client.costs()
+    finally:
+        gateway.close()
+
+    # -- burst: 2x over a one-worker, depth-2 service -------------------
+    burst = _run_burst_phase(n_docs, seed, latency_scale, questions)
+
+    return {
+        "workload": {
+            "n_docs": n_docs,
+            "repeats": repeats,
+            "tenants": tenants,
+            "workers": workers,
+            "latency_scale": latency_scale,
+            "seed": seed,
+            "distinct_questions": len(questions),
+            "requests": len(questions) + len(mix),
+        },
+        "modes": {"cold_sequential": cold, "warm_concurrent": warm},
+        "answers_agree": answers_agree[0],
+        "burst": burst,
+        "gateway": gateway_stats,
+        "tenants": {
+            name: ledger["totals"] for name, ledger in tenant_ledgers.items()
+        },
+    }
+
+
+def _run_burst_phase(
+    n_docs: int, seed: int, latency_scale: float, questions: List[str]
+) -> Dict[str, Any]:
+    """Flood a tiny gateway with 2x its capacity, concurrently.
+
+    Capacity = 1 worker + 2 queue slots = 3 admitted; we send 2x more
+    *distinct* questions (no cache reuse) at once. The overflow must come
+    back as HTTP 429 with a nonzero Retry-After; every 200 must carry a
+    real answer.
+    """
+    # A slower backend than the main phases, so the burst genuinely
+    # overlaps in the queue rather than draining between submissions.
+    ctx = _build_context(n_docs, seed, max(latency_scale, 0.02), parallelism=2)
+    gateway = Gateway(
+        QueryService(
+            ctx,
+            ServiceConfig(
+                max_workers=1, max_queue_depth=2, default_tenant_inflight=64
+            ),
+        ),
+    ).start()
+    capacity = 1 + 2
+    n_requests = capacity * 2
+    # Distinct phrasings keep the result cache out of the burst; reuse
+    # the benchmark questions' shape so planning stays on the fast path.
+    burst_questions = [
+        questions[i % len(questions)].rstrip("?") + f" (variant {i})?"
+        for i in range(n_requests)
+    ]
+    results: List[Dict[str, Any]] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_requests)
+
+    def fire(question: str) -> None:
+        client = GatewayClient("127.0.0.1", gateway.port, timeout_s=120.0)
+        barrier.wait()
+        try:
+            served = client.query(question, index="ntsb", tenant="burst")
+            outcome = {
+                "status": 200,
+                "answered": served["answer"] is not None,
+            }
+        except GatewayError as exc:
+            outcome = {
+                "status": exc.status,
+                "error": exc.error,
+                "retry_after_s": exc.retry_after_s or 0.0,
+            }
+        with lock:
+            results.append(outcome)
+
+    threads = [
+        threading.Thread(target=fire, args=(question,), daemon=True)
+        for question in burst_questions
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stats = gateway.service.stats()
+    gateway.close()
+
+    completed = [r for r in results if r["status"] == 200]
+    shed = [r for r in results if r["status"] == 429]
+    other = [r for r in results if r["status"] not in (200, 429)]
+    return {
+        "requests": n_requests,
+        "capacity": capacity,
+        "elapsed_s": round(elapsed, 4),
+        "completed": len(completed),
+        "shed_429": len(shed),
+        "other_failures": len(other),
+        "all_completed_answered": all(r["answered"] for r in completed),
+        "all_sheds_typed": all(r.get("error") == "overloaded" for r in shed),
+        "min_retry_after_s": round(
+            min((r["retry_after_s"] for r in shed), default=0.0), 4
+        ),
+        "service_completed": stats["completed"],
+        "service_rejected": stats["rejected"],
+        "service_failed": stats["failed"],
+    }
+
+
+def render_results(results: Dict[str, Any]) -> str:
+    """A compact human-readable summary (CLI + benchmark stdout)."""
+    cold = results["modes"]["cold_sequential"]
+    warm = results["modes"]["warm_concurrent"]
+    burst = results["burst"]
+    lines = [
+        "gateway load benchmark (real sockets, SimulatedLLM backend)",
+        f"  cold sequential : {cold['qps']:>7.2f} qps  "
+        f"p50 {cold['p50_ms']:.1f}ms  p99 {cold['p99_ms']:.1f}ms",
+        f"  warm concurrent : {warm['qps']:>7.2f} qps  "
+        f"p50 {warm['p50_ms']:.1f}ms  p99 {warm['p99_ms']:.1f}ms  "
+        f"({warm['speedup_vs_cold']:.1f}x cold, "
+        f"{warm['cache_hit_rate']:.0%} cache hits)",
+        f"  burst           : {burst['requests']} requests into capacity "
+        f"{burst['capacity']} -> {burst['completed']} completed, "
+        f"{burst['shed_429']} shed 429 "
+        f"(min Retry-After {burst['min_retry_after_s']:.2f}s)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,308 @@
+"""A small stdlib HTTP client for the gateway.
+
+Tests, benchmarks, and the CLI all need to drive the gateway over a real
+socket; :class:`GatewayClient` wraps ``http.client`` with the gateway's
+JSON conventions so none of them hand-roll HTTP:
+
+* non-2xx responses raise a typed :class:`GatewayError` carrying the
+  HTTP status, the decoded JSON payload, and the parsed ``Retry-After``
+  hint (so load generators can back off exactly as the server asks);
+* :meth:`GatewayClient.query_stream` speaks the SSE dialect the server
+  emits — it yields ``(event_name, payload)`` pairs and terminates on
+  the terminal ``result``/``error`` frame;
+* :meth:`StreamHandle.abort` drops the socket mid-stream, which is how
+  the disconnect tests simulate a client that went away.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["GatewayClient", "GatewayError", "StreamHandle"]
+
+
+class GatewayError(Exception):
+    """A non-2xx gateway response, with the typed body attached."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after_s: Optional[float] = None,
+    ):
+        message = payload.get("message") or payload.get("error") or "gateway error"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        #: Parsed from the Retry-After header (integer seconds) when the
+        #: body carries no machine-precision ``retry_after_s``.
+        self.retry_after_s = retry_after_s
+
+    @property
+    def error(self) -> str:
+        return str(self.payload.get("error", ""))
+
+
+class StreamHandle:
+    """An open SSE stream: iterate :meth:`events`, or :meth:`abort` to
+    simulate a client disconnect (closes the socket without reading the
+    terminal frame)."""
+
+    def __init__(self, connection: http.client.HTTPConnection, response: Any):
+        self._connection = connection
+        self._response = response
+        self.closed = False
+
+    def events(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(event, payload)`` per SSE frame; return after the
+        terminal ``result``/``error`` frame (or when the server closes)."""
+        event_name = ""
+        data = ""
+        try:
+            while True:
+                raw = self._response.readline(1 << 16)
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("event:"):
+                    event_name = line[len("event:") :].strip()
+                    continue
+                if line.startswith("data:"):
+                    data = line[len("data:") :].strip()
+                    continue
+                if line == "" and event_name:
+                    payload = json.loads(data) if data else {}
+                    yield event_name, payload
+                    if event_name in ("result", "error"):
+                        return
+                    event_name, data = "", ""
+        finally:
+            self.close()
+
+    def abort(self) -> None:
+        """Drop the connection immediately (mid-stream disconnect)."""
+        self.close()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            # The server streams with ``Connection: close``, so http.client
+            # hands the socket to the response; closing only the connection
+            # would leave the OS-level socket open and the server would
+            # never see the disconnect.
+            try:
+                self._response.close()
+            finally:
+                self._connection.close()
+
+
+class GatewayClient:
+    """JSON-over-HTTP client for one gateway endpoint.
+
+    One connection per request (the load benchmark measures the full
+    connect + request + response path, like real short-lived clients).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _headers(self, request_id: Optional[str] = None) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if request_id:
+            headers["X-Request-Id"] = request_id
+        return headers
+
+    def _open(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        """One round trip; returns (status, headers, decoded payload)."""
+        connection = self._open()
+        try:
+            connection.request(
+                method,
+                path,
+                body=json.dumps(body).encode("utf-8") if body is not None else None,
+                headers=self._headers(request_id),
+            )
+            response = connection.getresponse()
+            length = int(response.getheader("Content-Length") or "0")
+            raw = response.read(length) if length > 0 else b""
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, headers, payload
+        finally:
+            connection.close()
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        status, headers, payload = self.request(method, path, body, request_id)
+        if status >= 400:
+            retry_after: Optional[float] = None
+            if isinstance(payload, dict) and "retry_after_s" in payload:
+                retry_after = float(payload["retry_after_s"])
+            elif "retry-after" in headers:
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    retry_after = None
+            raise GatewayError(status, payload if isinstance(payload, dict) else {},
+                               retry_after_s=retry_after)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        question: str,
+        index: Optional[str] = None,
+        tenant: Optional[str] = None,
+        session: Optional[str] = None,
+        follow_up: bool = False,
+        deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit and wait for the served result."""
+        body: Dict[str, Any] = {"question": question}
+        if index:
+            body["index"] = index
+        if tenant:
+            body["tenant"] = tenant
+        if session:
+            body["session"] = session
+        if follow_up:
+            body["follow_up"] = True
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self._call("POST", "/v1/query", body, request_id)
+
+    def query_stream(
+        self,
+        question: str,
+        index: Optional[str] = None,
+        tenant: Optional[str] = None,
+        session: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> StreamHandle:
+        """Submit with ``?stream=1``; returns a live :class:`StreamHandle`."""
+        body: Dict[str, Any] = {"question": question}
+        if index:
+            body["index"] = index
+        if tenant:
+            body["tenant"] = tenant
+        if session:
+            body["session"] = session
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        connection = self._open()
+        try:
+            connection.request(
+                "POST",
+                "/v1/query?stream=1",
+                body=json.dumps(body).encode("utf-8"),
+                headers=self._headers(request_id),
+            )
+            response = connection.getresponse()
+        except BaseException:
+            connection.close()
+            raise
+        if response.status >= 400:
+            length = int(response.getheader("Content-Length") or "0")
+            raw = response.read(length) if length > 0 else b""
+            connection.close()
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            raise GatewayError(response.status, payload)
+        return StreamHandle(connection, response)
+
+    def status(self, ref: str) -> Dict[str, Any]:
+        """Query status by query id or request id."""
+        return self._call("GET", f"/v1/query/{ref}")
+
+    def cancel(self, ref: str) -> Dict[str, Any]:
+        return self._call("DELETE", f"/v1/query/{ref}")
+
+    def open_session(
+        self, index: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {}
+        if index:
+            body["index"] = index
+        if tenant:
+            body["tenant"] = tenant
+        return self._call("POST", "/v1/session", body)
+
+    def session(self, session_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/session/{session_id}")
+
+    def ingest(
+        self,
+        dataset: str = "ntsb",
+        index: Optional[str] = None,
+        docs: int = 8,
+        seed: int = 0,
+    ) -> Dict[str, Any]:
+        return self._call(
+            "POST",
+            "/v1/ingest",
+            {"dataset": dataset, "index": index, "docs": docs, "seed": seed},
+        )
+
+    # ------------------------------------------------------------------
+    # Ops surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        status, _, payload = self.request("GET", "/ops/health")
+        payload["http_status"] = status
+        return payload
+
+    def metrics(self, prefix: str = "") -> Dict[str, Any]:
+        path = f"/ops/metrics?prefix={prefix}" if prefix else "/ops/metrics"
+        return self._call("GET", path)["metrics"]
+
+    def trace(self, ref: str) -> Dict[str, Any]:
+        return self._call("GET", f"/ops/traces/{ref}")
+
+    def costs(self) -> Dict[str, Any]:
+        return self._call("GET", "/ops/costs")["tenants"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/ops/stats")
+
+    def accesslog(self, n: int = 100) -> Any:
+        return self._call("GET", f"/ops/accesslog?n={n}")["records"]

@@ -161,6 +161,9 @@ class ServedResult:
     #: True when the query's deadline expired mid-execution and the
     #: answer was degraded to a typed partial result.
     deadline_exceeded: bool = False
+    #: The network request id the query was submitted under ("" when the
+    #: query didn't come through the gateway).
+    request_id: str = ""
 
     @property
     def answer(self) -> Any:
@@ -186,6 +189,7 @@ class QueryTicket:
         secondary: Tuple[str, ...],
         follow_up: bool,
         deadline_s: Optional[float] = None,
+        request_id: str = "",
     ):
         self.query_id = query_id
         self.question = question
@@ -194,6 +198,10 @@ class QueryTicket:
         self.session = session
         self.secondary = secondary
         self.follow_up = follow_up
+        #: The network-edge correlation id (X-Request-Id), when the query
+        #: arrived through the gateway. Stamped on the serve span and on
+        #: every progress event, so traces are reachable from access logs.
+        self.request_id = request_id
         self.submitted_at = time.monotonic()
         #: The query's lifecycle scope. The deadline clock starts at
         #: admission, so queue time counts against the budget.
@@ -239,6 +247,8 @@ class QueryTicket:
         return self.session.session_id if self.session is not None else None
 
     def _emit(self, stage: str, **detail: Any) -> None:
+        if self.request_id:
+            detail.setdefault("request_id", self.request_id)
         event = QueryEvent(stage=stage, at=time.monotonic(), detail=detail)
         with self._cond:
             self._events.append(event)
@@ -257,17 +267,29 @@ class QueryTicket:
         with self._cond:
             return list(self._events)
 
-    def stream(self, timeout: Optional[float] = None):
+    def stream(self, timeout: Optional[float] = None, heartbeat: bool = False):
         """Yield progress events as they occur, ending after a terminal
-        stage (or when ``timeout`` elapses with no new event)."""
+        stage (or when ``timeout`` elapses with no new event).
+
+        With ``heartbeat=True`` a quiet ``timeout`` window yields ``None``
+        instead of ending the stream — consumers that must detect dead
+        peers (the gateway's SSE delivery) use the ``None`` ticks to
+        write keep-alives, and the stream still terminates at the first
+        terminal stage.
+        """
         consumed = 0
         while True:
             with self._cond:
                 while consumed >= len(self._events):
                     if not self._cond.wait(timeout=timeout):
-                        return
+                        if not heartbeat:
+                            return
+                        break
                 fresh = self._events[consumed:]
                 consumed = len(self._events)
+            if not fresh and heartbeat:
+                yield None
+                continue
             for event in fresh:
                 yield event
                 if event.stage in TERMINAL_STAGES:
@@ -446,6 +468,7 @@ class QueryService:
         secondary: Sequence[str] = (),
         follow_up: bool = False,
         deadline_s: Optional[float] = None,
+        request_id: str = "",
     ) -> QueryTicket:
         """Admit one query; returns a ticket whose future resolves to a
         :class:`ServedResult`.
@@ -503,6 +526,7 @@ class QueryService:
                 secondary=tuple(secondary),
                 follow_up=follow_up,
                 deadline_s=deadline_s,
+                request_id=request_id,
             )
             ticket._service = self
             record.inflight += 1
@@ -662,6 +686,8 @@ class QueryService:
                 session=ticket.session_id or "",
                 question=ticket.question,
                 index=ticket.index,
+                query_id=ticket.query_id,
+                request_id=ticket.request_id,
             )
         try:
             with attach_scope(scope):
@@ -821,6 +847,7 @@ class QueryService:
             cost_usd=charges["cost"],
             saved_usd=charges["saved"],
             latency_s=latency,
+            request_id=ticket.request_id,
         )
 
     def _obtain_plan(

@@ -424,6 +424,58 @@ class TestTimeoutNotPropagated:
         assert not self.hot_hits(source)
 
 
+class TestHandlerBlockingIo:
+    GW = "src/repro/gateway/server.py"
+
+    def gw_hits(self, source, path=None):
+        return lint_source(
+            textwrap.dedent(source),
+            path=path or self.GW,
+            rules=["handler-blocking-io"],
+        )
+
+    def test_unbounded_result_fires(self):
+        found = self.gw_hits("served = ticket.result()\n")
+        assert len(found) == 1
+        assert "connection thread" in found[0].message
+
+    def test_bounded_result_ok(self):
+        assert not self.gw_hits(
+            "served = ticket.result(timeout=self.config.sync_timeout_s)\n"
+        )
+        assert not self.gw_hits("served = ticket.result(30.0)\n")
+
+    def test_zero_arg_socket_read_fires(self):
+        assert self.gw_hits("body = self.rfile.read()\n")
+        assert self.gw_hits("line = response.readline()\n")
+
+    def test_bounded_or_non_socket_read_ok(self):
+        assert not self.gw_hits("body = self.rfile.read(length)\n")
+        assert not self.gw_hits("line = response.readline(1 << 16)\n")
+        # Not a socket-shaped receiver: plain file objects stay out of scope.
+        assert not self.gw_hits("data = handle.read()\n")
+
+    def test_only_gateway_package_is_checked(self):
+        source = "value = future.result()\n"
+        assert not self.gw_hits(source, path="src/repro/luna/luna.py")
+        assert self.gw_hits(source, path="src/repro/gateway/client.py")
+
+    def test_inline_suppression(self):
+        source = "x = t.result()  # repro: lint-ignore[handler-blocking-io]\n"
+        assert not self.gw_hits(source)
+
+    def test_gateway_metric_namespace_is_documented(self):
+        from repro.analysis.rules import METRIC_NAMESPACES
+
+        assert "gateway." in METRIC_NAMESPACES
+        assert not hits(
+            """
+            reg.counter("gateway.requests")
+            """,
+            "metric-name-drift",
+        )
+
+
 class TestNaiveWallClock:
     RULE = "naive-wall-clock"
 
@@ -667,6 +719,7 @@ class TestSuppressionsAndBaseline:
             "metric-name-drift",
             "naive-wall-clock",
             "timeout-not-propagated",
+            "handler-blocking-io",
             "nonpicklable-task-capture",
         }
 
