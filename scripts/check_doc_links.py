@@ -26,6 +26,7 @@ DOCS = [
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/ANALYSIS.md",
     "docs/OPTIMIZER.md",
     "docs/OPERATORS.md",
     "docs/GATEWAY.md",

@@ -1,12 +1,20 @@
 """Project-specific static analysis for the repro codebase.
 
-Three coordinated parts (see DESIGN.md §11):
+Five coordinated parts (see DESIGN.md §11 and docs/ANALYSIS.md):
 
 * :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — a
   rule-based AST lint engine tuned to the bug classes that kill a
   heavily threaded LLM-serving stack: blocking calls under locks,
   leaked executors and threads, dropped futures, metric-name drift,
   and wall-clock timing where monotonic clocks are required.
+* :mod:`repro.analysis.crossmod` — whole-program analysis: one
+  :class:`~repro.analysis.crossmod.ProjectIndex` pass over every
+  module, powering the interprocedural ``xlint`` rules (lock-order
+  inversion, future escape, prompt taint, event-loop blockers).
+* :mod:`repro.analysis.locksmith` — the runtime lock-order sanitizer:
+  monitored ``threading.Lock``/``RLock`` wrappers that record the
+  acquisition-order graph live and fail tests on observed inversions;
+  cross-checked against the static lock graph.
 * :mod:`repro.analysis.plancheck` — a static validator for Luna
   :class:`~repro.luna.operators.LogicalPlan` DAGs, run by the planner
   (reject + replan), the executor (structural gate), and the serving
@@ -16,6 +24,8 @@ Three coordinated parts (see DESIGN.md §11):
 """
 
 from .engine import (
+    Baseline,
+    BaselineEntry,
     Finding,
     FileContext,
     LintReport,
@@ -27,6 +37,7 @@ from .engine import (
     register,
     write_baseline,
 )
+from .sarif import to_sarif, write_sarif
 from .plancheck import (
     PlanCheckError,
     PlanCheckIssue,
@@ -37,6 +48,8 @@ from .plancheck import (
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
     "Finding",
     "FileContext",
     "LintReport",
@@ -47,9 +60,15 @@ __all__ = [
     "load_baseline",
     "register",
     "write_baseline",
+    "to_sarif",
+    "write_sarif",
     "PlanCheckError",
     "PlanCheckIssue",
     "PlanCheckReport",
     "check_plan",
     "ensure_valid_plan",
 ]
+
+# NOTE: repro.analysis.crossmod and repro.analysis.locksmith are
+# imported lazily by their consumers (CLI xlint, tests) — crossmod pulls
+# in the whole-program indexer, which nothing on the serving path needs.

@@ -1,0 +1,44 @@
+"""Whole-program analysis: one :class:`ProjectIndex` pass, four rules.
+
+Where :mod:`repro.analysis.rules` sees one file at a time, this package
+parses every module of the program once and runs *interprocedural*
+rules over the result:
+
+* ``lock-order-inversion`` — cycles in the global lock-acquisition-order
+  graph (:mod:`.lockorder`), cross-checkable against the runtime
+  :mod:`repro.analysis.locksmith` sanitizer;
+* ``future-escape`` — futures that cross a function/module boundary and
+  are dropped on a hot path (:mod:`.dataflow`);
+* ``prompt-taint`` / ``unjustified-taint-safe`` — untrusted text
+  reaching prompt construction unsanitized (:mod:`.taint`);
+* ``event-loop-blocker`` — blocking primitives reachable from dispatch
+  loops: the computed asyncio-migration worklist (:mod:`.blockers`).
+
+Entry point: ``python -m repro xlint`` or :func:`xlint_paths`.
+"""
+
+from .index import ProjectIndex, FunctionInfo, ClassInfo, ModuleInfo, LockDecl
+from .runner import CrossRule, XRULES, xregister, xlint_paths, build_index
+
+# Importing the rule modules registers them in XRULES.
+from . import lockorder  # noqa: F401  (registers lock-order-inversion)
+from . import dataflow  # noqa: F401  (registers future-escape)
+from . import taint  # noqa: F401  (registers prompt-taint, unjustified-taint-safe)
+from . import blockers  # noqa: F401  (registers event-loop-blocker)
+
+from .lockorder import LockOrderGraph, build_lock_graph
+
+__all__ = [
+    "ProjectIndex",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "LockDecl",
+    "CrossRule",
+    "XRULES",
+    "xregister",
+    "xlint_paths",
+    "build_index",
+    "LockOrderGraph",
+    "build_lock_graph",
+]

@@ -1,0 +1,189 @@
+"""``event-loop-blocker``: blocking primitives on dispatch paths.
+
+The asyncio-migration worklist, computed instead of curated. The paper's
+serving layer multiplexes many queries over few threads; every blocking
+primitive *transitively reachable* from a dispatch loop is a place where
+one slow tenant stalls everyone behind it — and the exact set of call
+sites that must become awaitable when the serving/gateway layers move
+to asyncio.
+
+Roots (the dispatch paths):
+
+* ``RequestScheduler._run`` / ``RequestScheduler._dispatch`` — the
+  model-call scheduler loop;
+* ``QueryService._worker_loop`` — the serving worker;
+* the gateway's ``do_GET``/``do_POST``/``do_DELETE``/``_dispatch`` —
+  one thread per in-flight HTTP request.
+
+Blocking shapes reported (at the blocking call, with the root and call
+chain in the message):
+
+* ``time.sleep(...)``
+* ``.result()`` / ``.wait(...)`` / ``.get(...)`` / ``.join(...)``
+  **without a timeout argument** — unbounded waits; a bounded wait on a
+  dispatch path is a latency bug, an unbounded one is a liveness bug;
+* ``socket``-level receives (``recv``/``accept``).
+
+Lock acquisitions are deliberately *not* reported here: short critical
+sections are fine on these paths, and the single-file
+``blocking-call-under-lock`` rule plus ``lock-order-inversion`` police
+the pathological cases. Each finding names the shortest call chain from
+its root so the worklist reads as a migration plan, not a pile of
+lines. In-repo findings are expected to live in the committed baseline
+with written justifications until the asyncio port lands.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from .dataflow import own_nodes
+from .index import FunctionInfo, ProjectIndex
+from .runner import CrossRule, xregister
+
+__all__ = ["EventLoopBlocker", "DISPATCH_ROOTS", "reachable_from_roots"]
+
+#: Dispatch-loop roots: module-qualified function names.
+DISPATCH_ROOTS: Tuple[str, ...] = (
+    "repro.runtime.scheduler:RequestScheduler._run",
+    "repro.runtime.scheduler:RequestScheduler._dispatch",
+    "repro.serving.service:QueryService._worker_loop",
+    "repro.gateway.server:_GatewayHandler.do_GET",
+    "repro.gateway.server:_GatewayHandler.do_POST",
+    "repro.gateway.server:_GatewayHandler.do_DELETE",
+    "repro.gateway.server:_GatewayHandler._dispatch",
+)
+
+#: method name -> does a timeout argument make it acceptable?
+_BLOCKING_METHODS = {
+    "result": True,
+    "wait": True,
+    "get": True,
+    "join": True,
+    "acquire": None,  # never reported; see module docstring
+    "recv": False,
+    "recv_into": False,
+    "accept": False,
+}
+
+#: ``.get``/``.join`` are blocking only on queue-like / thread-like
+#: receivers — ``dict.get`` and ``str.join`` share the method names.
+#: Receiver *names* carry the evidence (``self._queue``, ``worker``);
+#: anything else is assumed to be the non-blocking homonym.
+_QUEUEISH_RE = re.compile(r"(?:^|_)(?:queue|queues|inbox|mailbox|channel)\d*$")
+_THREADISH_RE = re.compile(r"(?:^|_)(?:thread|threads|worker|workers|proc|process|processes|pool)\d*$")
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def reachable_from_roots(
+    index: ProjectIndex, roots: Tuple[str, ...] = DISPATCH_ROOTS
+) -> Dict[str, Tuple[str, ...]]:
+    """BFS over the call graph: qualname -> shortest chain from a root
+    (chain includes the root and the function itself)."""
+    chains: Dict[str, Tuple[str, ...]] = {}
+    queue: List[str] = []
+    for root in roots:
+        if root in index.functions and root not in chains:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        for edge in index.callees_of(current):
+            if edge.callee in chains or edge.callee not in index.functions:
+                continue
+            chains[edge.callee] = chains[current] + (edge.callee,)
+            queue.append(edge.callee)
+    return chains
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    # Positional timeouts: wait(0.5), get(True, 0.5), result(5.0).
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float)):
+            return True
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            name = arg.attr if isinstance(arg, ast.Attribute) else arg.id
+            if "timeout" in name.lower() or "deadline" in name.lower():
+                return True
+    return False
+
+
+def _blocking_calls(fn: FunctionInfo) -> Iterator[Tuple[ast.Call, str]]:
+    """Yield (call, what) for blocking shapes in ``fn``'s own body."""
+    for node in own_nodes(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # time.sleep(...)
+            if (
+                func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield node, "time.sleep()"
+                continue
+            spec = _BLOCKING_METHODS.get(func.attr)
+            if spec is None:
+                continue
+            if func.attr in ("get", "join"):
+                name = _terminal_name(func.value)
+                pattern = _QUEUEISH_RE if func.attr == "get" else _THREADISH_RE
+                if name is None or not pattern.search(name.strip("_").lower()):
+                    continue  # dict.get / str.join homonym
+            if spec is True and _has_timeout(node):
+                continue  # bounded wait: latency, not liveness
+            receiver = ast.unparse(func.value)
+            suffix = "" if spec is False else " without a timeout"
+            yield node, f"{receiver}.{func.attr}(){suffix}"
+        elif isinstance(func, ast.Name) and func.id == "sleep":
+            yield node, "sleep()"
+
+
+@xregister
+class EventLoopBlocker(CrossRule):
+    id = "event-loop-blocker"
+    description = (
+        "A blocking primitive (sleep, unbounded wait/result/get/join, "
+        "socket receive) is transitively reachable from a dispatch loop: "
+        "the call site must become awaitable (or bounded) before the "
+        "serving path can move to asyncio."
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        chains = reachable_from_roots(index)
+        for qualname in sorted(chains):
+            fn = index.functions.get(qualname)
+            if fn is None:
+                continue
+            chain = chains[qualname]
+            for call, what in _blocking_calls(fn):
+                root = chain[0]
+                hops = " -> ".join(_short(q) for q in chain)
+                yield self.finding(
+                    path=fn.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{what} blocks the dispatch path rooted at "
+                        f"{_short(root)} (chain: {hops}); make it bounded "
+                        f"or move it off the dispatch thread"
+                    ),
+                )
+
+
+def _short(qualname: str) -> str:
+    module, _, rest = qualname.partition(":")
+    return f"{module.rsplit('.', 1)[-1]}:{rest}" if rest else qualname

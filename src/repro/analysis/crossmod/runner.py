@@ -1,0 +1,134 @@
+"""The ``xlint`` driver: cross-module rules over one ProjectIndex pass.
+
+Mirrors the single-file engine's contract — rules yield
+:class:`~repro.analysis.engine.Finding` objects, inline
+``# repro: lint-ignore[rule]`` suppressions and the committed baseline
+both apply — but a rule sees the whole :class:`ProjectIndex` instead of
+one file. All four rules run off the same index; the program is parsed
+exactly once per invocation.
+
+``--since <rev>`` scoping: the index is still built over the full tree
+(interprocedural facts need the whole program), but reported findings
+are restricted to the *touched call-graph slice* — modules changed
+since ``rev`` plus every module with a resolved call edge into or out
+of them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from ..engine import Baseline, Finding, LintReport
+from .index import ProjectIndex
+
+__all__ = ["CrossRule", "XRULES", "xregister", "xlint_paths", "build_index"]
+
+
+class CrossRule:
+    """Base class for whole-program rules (see docs/ANALYSIS.md for the
+    rule-authoring API)."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(rule=self.id, path=path, line=line, col=col, message=message)
+
+
+#: The cross-module rule registry, id -> instance.
+XRULES: Dict[str, CrossRule] = {}
+
+
+def xregister(cls: type) -> type:
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    XRULES[rule.id] = rule
+    return cls
+
+
+def build_index(paths: Iterable[Union[str, Path]]) -> ProjectIndex:
+    """Build the whole-program index (one parse of every module)."""
+    return ProjectIndex.build(paths)
+
+
+def _selected(rules: Optional[Iterable[str]]) -> List[CrossRule]:
+    if rules is None:
+        return [XRULES[rule_id] for rule_id in sorted(XRULES)]
+    chosen = []
+    for rule_id in rules:
+        if rule_id not in XRULES:
+            raise KeyError(f"unknown cross-module rule {rule_id!r}; known: {sorted(XRULES)}")
+        chosen.append(XRULES[rule_id])
+    return chosen
+
+
+def xlint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Union[Baseline, Set[str]]] = None,
+    changed_files: Optional[Iterable[Union[str, Path]]] = None,
+    index: Optional[ProjectIndex] = None,
+) -> LintReport:
+    """Run the cross-module rules and fold results through suppressions,
+    the baseline, and (optionally) changed-file slice scoping.
+
+    ``changed_files`` restricts *reporting* to the touched call-graph
+    slice; the index and the interprocedural analyses always see the
+    whole program.
+    """
+    if index is None:
+        index = build_index(paths)
+    if isinstance(baseline, set):
+        baseline = Baseline.from_identities(baseline)
+    report = LintReport()
+    report.files_checked = len(index.modules)
+
+    scope_paths: Optional[Set[str]] = None
+    if changed_files is not None:
+        changed_modules = {
+            info.name
+            for info in index.modules.values()
+            if any(_same_file(info.path, c) for c in changed_files)
+        }
+        slice_modules = index.module_neighbourhood(changed_modules)
+        scope_paths = {
+            index.modules[m].path for m in slice_modules if m in index.modules
+        }
+
+    all_findings: List[Finding] = []
+    for rule in _selected(rules):
+        for finding in rule.check(index):
+            if index.is_suppressed(finding.path, finding.rule, finding.line):
+                report.suppressed += 1
+                continue
+            all_findings.append(finding)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    for finding in all_findings:
+        if scope_paths is not None and finding.path not in scope_paths:
+            report.out_of_scope += 1
+            continue
+        if baseline is not None and baseline.match(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    if baseline is not None and scope_paths is None:
+        checked = {info.path for info in index.modules.values()}
+        report.stale = baseline.stale_entries(checked)
+    return report
+
+
+def _same_file(index_path: str, candidate: Union[str, Path]) -> bool:
+    a = Path(index_path)
+    b = Path(candidate)
+    if a == b:
+        return True
+    try:
+        return a.resolve() == b.resolve()
+    except OSError:  # pragma: no cover - unresolvable paths
+        return a.name == b.name and a.parts[-3:] == b.parts[-3:]

@@ -28,6 +28,8 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
     "Finding",
     "FileContext",
     "LintReport",
@@ -155,13 +157,18 @@ class LintReport:
     """The outcome of one lint run.
 
     ``findings`` are actionable violations (exit non-zero); ``baselined``
-    matched the committed baseline; ``suppressed`` were silenced inline.
+    matched the committed baseline; ``suppressed`` were silenced inline;
+    ``stale`` are baseline entries whose file::rule no longer fires (the
+    suppression has rotted and should be deleted); ``out_of_scope``
+    counts findings dropped by ``--changed``/``--since`` slice scoping.
     """
 
     findings: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    stale: List[str] = field(default_factory=list)
+    out_of_scope: int = 0
 
     @property
     def ok(self) -> bool:
@@ -172,16 +179,29 @@ class LintReport:
             "ok": self.ok,
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "out_of_scope": self.out_of_scope,
             "findings": [f.to_dict() for f in self.findings],
             "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline_entries": list(self.stale),
         }
 
     def render(self) -> str:
         lines = [f.render() for f in self.findings]
-        lines.append(
+        summary = (
             f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
-            f"({len(self.baselined)} baselined, {self.suppressed} suppressed)"
+            f"({len(self.baselined)} baselined, {self.suppressed} suppressed"
         )
+        if self.out_of_scope:
+            summary += f", {self.out_of_scope} outside the changed slice"
+        summary += ")"
+        lines.append(summary)
+        if self.stale:
+            lines.append(
+                f"{len(self.stale)} stale baseline entr"
+                f"{'y' if len(self.stale) == 1 else 'ies'} "
+                f"(no longer fire; regenerate with --update-baseline):"
+            )
+            lines.extend(f"  {identity}" for identity in self.stale)
         return "\n".join(lines)
 
 
@@ -260,20 +280,32 @@ def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[Union[str, Path]],
     rules: Optional[Iterable[str]] = None,
-    baseline: Optional[Set[str]] = None,
+    baseline: Optional[Union[Set[str], "Baseline"]] = None,
 ) -> LintReport:
-    """Lint files/directories against an optional baseline."""
+    """Lint files/directories against an optional baseline.
+
+    ``baseline`` may be a plain identity set (legacy) or a
+    :class:`Baseline`; with a :class:`Baseline`, entries survive file
+    moves (basename fallback) and entries that no longer fire are
+    reported as stale.
+    """
     report = LintReport()
     selected = _selected_rules(rules)
-    baseline = baseline or set()
+    if baseline is None:
+        baseline = Baseline()
+    elif isinstance(baseline, set):
+        baseline = Baseline.from_identities(baseline)
+    checked_paths: Set[str] = set()
     for path in iter_python_files(paths):
         report.files_checked += 1
+        checked_paths.add(str(path))
         source = path.read_text(encoding="utf-8")
         for finding in _lint_context(source, str(path), selected, report):
-            if finding.identity() in baseline:
+            if baseline.match(finding):
                 report.baselined.append(finding)
             else:
                 report.findings.append(finding)
+    report.stale = baseline.stale_entries(checked_paths)
     return report
 
 
@@ -282,28 +314,144 @@ def lint_paths(
 # ----------------------------------------------------------------------
 
 
+@dataclass
+class BaselineEntry:
+    """One accepted finding. ``justification`` is required for entries
+    that are deliberate policy exceptions (e.g. the async-migration
+    worklist) rather than not-yet-fixed debt."""
+
+    path: str
+    rule: str
+    message: str
+    justification: Optional[str] = None
+
+    @property
+    def identity(self) -> str:
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    @property
+    def moved_identity(self) -> str:
+        """Fallback key matching the finding after a file move: same
+        basename, rule, and message."""
+        return f"{Path(self.path).name}::{self.rule}::{self.message}"
+
+
+class Baseline:
+    """A committed set of accepted findings with staleness tracking.
+
+    Matching is two-phase: exact ``path::rule::message`` first, then a
+    basename fallback so moving a file does not resurrect its accepted
+    findings. Every match is recorded; entries that matched nothing in
+    a full run over their file's tree are *stale* and should be purged
+    with ``--update-baseline``.
+    """
+
+    def __init__(self, entries: Optional[Sequence[BaselineEntry]] = None):
+        self.entries: List[BaselineEntry] = list(entries or [])
+        self._matched: Set[int] = set()
+
+    @classmethod
+    def from_identities(cls, identities: Set[str]) -> "Baseline":
+        entries = []
+        for identity in sorted(identities):
+            path, rule, message = identity.split("::", 2)
+            entries.append(BaselineEntry(path=path, rule=rule, message=message))
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        text = file_path.read_text(encoding="utf-8").strip()
+        if not text:
+            return cls()
+        payload = json.loads(text)
+        entries = [
+            BaselineEntry(
+                path=entry["path"],
+                rule=entry["rule"],
+                message=entry["message"],
+                justification=entry.get("justification"),
+            )
+            for entry in payload.get("findings", [])
+        ]
+        return cls(entries)
+
+    def match(self, finding: Finding) -> Optional[BaselineEntry]:
+        """The entry accepting this finding (exact, then moved-file
+        fallback), or None. Matches are recorded for staleness."""
+        identity = finding.identity()
+        moved = f"{Path(finding.path).name}::{finding.rule}::{finding.message}"
+        fallback: Optional[int] = None
+        for i, entry in enumerate(self.entries):
+            if entry.identity == identity:
+                self._matched.add(i)
+                return entry
+            if fallback is None and entry.moved_identity == moved:
+                fallback = i
+        if fallback is not None:
+            self._matched.add(fallback)
+            return self.entries[fallback]
+        return None
+
+    def stale_entries(self, checked_paths: Set[str]) -> List[str]:
+        """Identities of entries that matched nothing, restricted to
+        entries whose file (or a same-named file) was actually linted —
+        a scoped run must not declare the rest of the baseline rotten.
+        """
+        checked_names = {Path(p).name for p in checked_paths}
+        stale = []
+        for i, entry in enumerate(self.entries):
+            if i in self._matched:
+                continue
+            if entry.path in checked_paths or Path(entry.path).name in checked_names:
+                stale.append(entry.identity)
+        return stale
+
+    def justifications(self) -> Dict[str, str]:
+        """identity -> justification, for entries that carry one."""
+        return {
+            entry.identity: entry.justification
+            for entry in self.entries
+            if entry.justification
+        }
+
+
 def load_baseline(path: Union[str, Path]) -> Set[str]:
     """Load a baseline file into a set of finding identities.
 
     A missing file is an empty baseline (fresh repos start clean).
+    Prefer :meth:`Baseline.load` for move-tolerance, staleness tracking,
+    and justifications; this identity-set view is kept for callers that
+    only need membership.
     """
-    file_path = Path(path)
-    if not file_path.exists():
-        return set()
-    payload = json.loads(file_path.read_text(encoding="utf-8"))
-    identities: Set[str] = set()
-    for entry in payload.get("findings", []):
-        identities.add(f"{entry['path']}::{entry['rule']}::{entry['message']}")
-    return identities
+    return {entry.identity for entry in Baseline.load(path).entries}
 
 
-def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
-    """Persist current findings as the accepted baseline."""
-    payload = {
-        "version": 1,
-        "findings": [
-            {"path": f.path, "rule": f.rule, "message": f.message}
-            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
-        ],
-    }
+def write_baseline(
+    path: Union[str, Path],
+    findings: Sequence[Finding],
+    justifications: Optional[Dict[str, str]] = None,
+) -> None:
+    """Persist current findings as the accepted baseline.
+
+    ``justifications`` maps finding identities to a written reason; use
+    it to preserve (or add) the why of deliberate policy exceptions
+    when regenerating with ``--update-baseline``.
+    """
+    justifications = justifications or {}
+    entries = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        entry: Dict[str, object] = {
+            "path": f.path,
+            "rule": f.rule,
+            "message": f.message,
+        }
+        reason = justifications.get(f.identity())
+        if reason:
+            entry["justification"] = reason
+        entries.append(entry)
+    payload = {"version": 2, "findings": entries}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

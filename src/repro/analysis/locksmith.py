@@ -1,0 +1,500 @@
+"""Runtime lock-order sanitizer (the dynamic half of ``xlint``).
+
+The static ``lock-order-inversion`` rule predicts deadlocks from the
+global acquisition-order graph; this module *observes* the same graph
+at runtime. :func:`install` replaces ``threading.Lock`` and
+``threading.RLock`` with monitored wrappers that record, per thread,
+the order in which lock *sites* are acquired. Every ``(held, new)``
+pair becomes an edge in a process-wide order graph; adding an edge
+``A -> B`` when a path ``B -> ... -> A`` already exists is an
+**observed inversion** — the interleaving that deadlocks has been
+demonstrated, even if this run got lucky — and is reported with the
+acquisition stacks of *both* directions.
+
+Like lockdep, a single thread is enough: the sanitizer flags the
+ordering violation, not the hang. The test suite runs single-threaded
+paths through both sides of a would-be deadlock and still fails.
+
+Identity is the **lock creation site** — the first stack frame outside
+``threading``/this module at construction, as ``(path, line)``. That is
+exactly what the static analysis records for each declared lock
+(``self._lock = threading.Lock()`` has one creation line), so static
+cycles and runtime inversions join on site keys: :func:`cross_check`
+produces the combined report behind ``xlint --runtime-report``.
+
+Opt-in: set ``REPRO_LOCKSMITH=1`` (or pass ``--locksmith`` to pytest;
+see ``tests/conftest.py``). Known limits, by design:
+
+* locks created *before* :func:`install` (module import order) are
+  unmonitored;
+* ``Condition``'s internal waiter locks come from
+  ``_thread.allocate_lock`` directly and are never monitored;
+* reentrant re-acquisition of an RLock records nothing (only the
+  0 -> 1 transition).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "install",
+    "uninstall",
+    "installed",
+    "reset",
+    "Inversion",
+    "inversions",
+    "edges",
+    "report",
+    "write_report",
+    "load_report",
+    "cross_check",
+]
+
+_ORIG_LOCK = threading.Lock
+_ORIG_RLOCK = threading.RLock
+
+#: Frames from these files never count as a creation/acquire site.
+#: Matched on the path basename so e.g. test_locksmith.py is NOT opaque.
+_OPAQUE_BASENAMES = frozenset({"threading.py", "locksmith.py", "queue.py"})
+
+
+def _is_opaque(filename: str) -> bool:
+    return filename.rsplit("/", 1)[-1].rsplit("\\", 1)[-1] in _OPAQUE_BASENAMES
+
+
+def _user_site(skip: int = 0) -> Tuple[str, int]:
+    """(path, line) of the innermost stack frame outside the lock
+    machinery — the site identity shared with the static analysis."""
+    for frame in reversed(traceback.extract_stack()):
+        if _is_opaque(frame.filename):
+            continue
+        return frame.filename, frame.lineno or 0
+    return "<unknown>", 0
+
+
+def _stack_summary(limit: int = 12) -> List[str]:
+    lines: List[str] = []
+    for frame in traceback.extract_stack()[:-2]:
+        if _is_opaque(frame.filename):
+            continue
+        lines.append(f"{frame.filename}:{frame.lineno} in {frame.name}")
+    return lines[-limit:]
+
+
+class Inversion:
+    """One observed lock-order inversion: edge ``a -> b`` was recorded
+    while the graph already contained a path ``b -> ... -> a``."""
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        stack: List[str],
+        reverse_stack: List[str],
+        chain: List[str],
+    ):
+        self.a = a
+        self.b = b
+        self.stack = stack  #: acquisition stack of the a -> b direction
+        self.reverse_stack = reverse_stack  #: stack of the first b -> ... edge
+        self.chain = chain  #: the pre-existing path b -> ... -> a
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "stack": self.stack,
+            "reverse_stack": self.reverse_stack,
+            "chain": self.chain,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"lock-order inversion: {self.a} -> {self.b} observed, but "
+            f"{' -> '.join(self.chain)} was already recorded",
+            "  forward acquisition:",
+        ]
+        lines += [f"    {frame}" for frame in self.stack]
+        lines.append("  prior reverse acquisition:")
+        lines += [f"    {frame}" for frame in self.reverse_stack]
+        return "\n".join(lines)
+
+
+class _Monitor:
+    """Process-wide acquisition-order graph (guarded by a real lock)."""
+
+    def __init__(self) -> None:
+        self._guard = _ORIG_LOCK()
+        self._tls = threading.local()
+        self.sites: Dict[str, Dict[str, Any]] = {}
+        self.edge_stacks: Dict[Tuple[str, str], List[str]] = {}
+        self.edge_counts: Dict[Tuple[str, str], int] = {}
+        self.inversions: List[Inversion] = []
+
+    # -- per-thread held stack ----------------------------------------
+
+    def _held(self) -> List[str]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    # -- graph ---------------------------------------------------------
+
+    def register_site(self, site: Tuple[str, int], kind: str) -> str:
+        key = f"{site[0]}:{site[1]}"
+        with self._guard:
+            self.sites.setdefault(key, {"path": site[0], "line": site[1], "kind": kind})
+        return key
+
+    def _path_between(self, start: str, goal: str) -> List[str]:
+        """BFS path start -> ... -> goal in the current edge set."""
+        adjacency: Dict[str, List[str]] = {}
+        for a, b in self.edge_counts:
+            adjacency.setdefault(a, []).append(b)
+        queue: List[List[str]] = [[start]]
+        seen = {start}
+        while queue:
+            path = queue.pop(0)
+            for nxt in sorted(adjacency.get(path[-1], [])):
+                if nxt == goal:
+                    return path + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(path + [nxt])
+        return []
+
+    def note_acquired(self, key: str) -> None:
+        held = self._held()
+        stack = _stack_summary()
+        with self._guard:
+            for held_key in held:
+                if held_key == key:
+                    continue
+                edge = (held_key, key)
+                first_time = edge not in self.edge_counts
+                self.edge_counts[edge] = self.edge_counts.get(edge, 0) + 1
+                if first_time:
+                    self.edge_stacks[edge] = stack
+                    chain = self._path_between(key, held_key)
+                    if chain:
+                        first_hop = (chain[0], chain[1])
+                        self.inversions.append(
+                            Inversion(
+                                a=held_key,
+                                b=key,
+                                stack=stack,
+                                reverse_stack=self.edge_stacks.get(first_hop, []),
+                                chain=chain,
+                            )
+                        )
+        held.append(key)
+
+    def note_released(self, key: str) -> None:
+        held = self._held()
+        # Locks are usually released LIFO, but nothing enforces it.
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == key:
+                del held[i]
+                break
+
+
+_monitor: Optional[_Monitor] = None
+
+
+class _MonitoredLock:
+    """``threading.Lock`` wrapper feeding the order monitor."""
+
+    _KIND = "Lock"
+
+    def __init__(self) -> None:
+        self._inner = _ORIG_LOCK()
+        self._site_key = _monitor.register_site(_user_site(), self._KIND) if _monitor else ""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got and _monitor is not None:
+            _monitor.note_acquired(self._site_key)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        if _monitor is not None:
+            _monitor.note_released(self._site_key)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<locksmith {self._KIND} site={self._site_key}>"
+
+
+class _MonitoredRLock:
+    """``threading.RLock`` wrapper: counts reentrancy, implements the
+    private protocol ``Condition`` relies on."""
+
+    _KIND = "RLock"
+
+    def __init__(self) -> None:
+        self._inner = _ORIG_RLOCK()
+        self._site_key = _monitor.register_site(_user_site(), self._KIND) if _monitor else ""
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            me = threading.get_ident()
+            if self._owner == me:
+                self._count += 1
+            else:
+                self._owner = me
+                self._count = 1
+                if _monitor is not None:
+                    _monitor.note_acquired(self._site_key)
+        return got
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        last_out = self._owner == me and self._count == 1
+        self._inner.release()
+        if last_out:
+            self._owner = None
+            self._count = 0
+            if _monitor is not None:
+                _monitor.note_released(self._site_key)
+        elif self._owner == me:
+            self._count -= 1
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    # Condition's private reacquisition protocol.
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def _recursion_count(self) -> int:
+        # multiprocessing.resource_tracker (3.11+) asks for this.
+        return self._count if self._owner == threading.get_ident() else 0
+
+    def _release_save(self) -> Tuple[int, Optional[int]]:
+        count, owner = self._count, self._owner
+        self._owner = None
+        self._count = 0
+        if _monitor is not None:
+            _monitor.note_released(self._site_key)
+        for _ in range(count):
+            self._inner.release()
+        return count, owner
+
+    def _acquire_restore(self, state: Tuple[int, Optional[int]]) -> None:
+        count, owner = state
+        for _ in range(count):
+            self._inner.acquire()
+        self._owner = owner
+        self._count = count
+        if _monitor is not None:
+            _monitor.note_acquired(self._site_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<locksmith {self._KIND} site={self._site_key}>"
+
+
+def install() -> None:
+    """Patch ``threading.Lock``/``threading.RLock`` with monitored
+    wrappers. Idempotent. ``Condition()`` and ``queue.Queue()`` pick the
+    wrappers up automatically (they resolve the factories through the
+    ``threading`` module at call time)."""
+    global _monitor
+    if _monitor is not None:
+        return
+    _monitor = _Monitor()
+    threading.Lock = _MonitoredLock  # type: ignore[misc]
+    threading.RLock = _MonitoredRLock  # type: ignore[misc]
+
+
+def uninstall() -> None:
+    """Restore the real factories (already-created monitored locks keep
+    working; they stop being recorded)."""
+    global _monitor
+    threading.Lock = _ORIG_LOCK  # type: ignore[misc]
+    threading.RLock = _ORIG_RLOCK  # type: ignore[misc]
+    _monitor = None
+
+
+def installed() -> bool:
+    return _monitor is not None
+
+
+def reset() -> None:
+    """Forget all recorded edges and inversions (keep monitoring)."""
+    global _monitor
+    if _monitor is not None:
+        _monitor = _Monitor()
+
+
+def inversions() -> List[Inversion]:
+    return list(_monitor.inversions) if _monitor is not None else []
+
+
+def edges() -> Dict[Tuple[str, str], int]:
+    return dict(_monitor.edge_counts) if _monitor is not None else {}
+
+
+def report() -> Dict[str, Any]:
+    """The full observation report (JSON-able): sites, edges, inversions."""
+    if _monitor is None:
+        return {"installed": False, "sites": {}, "edges": [], "inversions": []}
+    with _monitor._guard:
+        return {
+            "installed": True,
+            "sites": dict(_monitor.sites),
+            "edges": [
+                {
+                    "a": a,
+                    "b": b,
+                    "count": count,
+                    "stack": _monitor.edge_stacks.get((a, b), []),
+                }
+                for (a, b), count in sorted(_monitor.edge_counts.items())
+            ],
+            "inversions": [inv.to_dict() for inv in _monitor.inversions],
+        }
+
+
+def write_report(path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report(), handle, indent=2, sort_keys=True)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Static / runtime cross-check
+# ---------------------------------------------------------------------------
+
+
+def _site_matches(static_path: str, static_line: int, runtime_key: str) -> bool:
+    """Join a static lock declaration to a runtime site key
+    (``path:line``). Paths may differ in prefix (relative vs absolute);
+    compare by line plus trailing path components."""
+    runtime_path, _, line_text = runtime_key.rpartition(":")
+    try:
+        if int(line_text) != static_line:
+            return False
+    except ValueError:
+        return False
+    a_parts = static_path.replace("\\", "/").split("/")
+    b_parts = runtime_path.replace("\\", "/").split("/")
+    tail = min(len(a_parts), len(b_parts), 3)
+    return a_parts[-tail:] == b_parts[-tail:]
+
+
+def cross_check(graph: Any, runtime: Dict[str, Any]) -> Dict[str, Any]:
+    """Combine the static lock graph with a runtime locksmith report.
+
+    ``graph`` is a :class:`repro.analysis.crossmod.LockOrderGraph`;
+    ``runtime`` a dict from :func:`report`/:func:`load_report`. Returns::
+
+        {
+          "confirmed":    [...],  # static cycle edges also observed live
+          "static_only":  [...],  # predicted cycles never exercised
+          "runtime_only": [...],  # observed inversions the static pass
+                                  # missed (dynamic dispatch, getattr...)
+          "matched_sites": {static_lock_id: runtime_site_key},
+        }
+    """
+    matched: Dict[str, str] = {}
+    for lock_id, decl in graph.locks.items():
+        for runtime_key in runtime.get("sites", {}):
+            if _site_matches(decl.path, decl.line, runtime_key):
+                matched[lock_id] = runtime_key
+                break
+
+    runtime_edges: Set[Tuple[str, str]] = {
+        (edge["a"], edge["b"]) for edge in runtime.get("edges", [])
+    }
+    confirmed: List[Dict[str, Any]] = []
+    static_only: List[Dict[str, Any]] = []
+    for cycle in graph.cycles():
+        observed_both_ways = False
+        for i, node in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            a_key, b_key = matched.get(node), matched.get(nxt)
+            if a_key and b_key and (a_key, b_key) in runtime_edges and (
+                (b_key, a_key) in runtime_edges
+                or any(
+                    inv["a"] == a_key and inv["b"] == b_key
+                    or inv["a"] == b_key and inv["b"] == a_key
+                    for inv in runtime.get("inversions", [])
+                )
+            ):
+                observed_both_ways = True
+                break
+        entry = {"cycle": cycle, "edges": [
+            edge.via for edge in (graph.edge(cycle[i], cycle[(i + 1) % len(cycle)])
+                                  for i in range(len(cycle))) if edge is not None
+        ]}
+        (confirmed if observed_both_ways else static_only).append(entry)
+
+    # Scope runtime-only findings to locks the static pass actually
+    # analyzed: an inversion among unmatched sites (test fixtures,
+    # third-party code) is outside the program under analysis and must
+    # not fail the cross-check.
+    matched_keys = set(matched.values())
+    runtime_only = [
+        inv
+        for inv in runtime.get("inversions", [])
+        if inv.get("a") in matched_keys
+        and inv.get("b") in matched_keys
+        and not _runtime_inversion_predicted(inv, matched_keys, confirmed, matched)
+    ]
+    return {
+        "confirmed": confirmed,
+        "static_only": static_only,
+        "runtime_only": runtime_only,
+        "matched_sites": matched,
+    }
+
+
+def _runtime_inversion_predicted(
+    inv: Dict[str, Any],
+    matched_keys: Set[str],
+    confirmed: List[Dict[str, Any]],
+    matched: Dict[str, str],
+) -> bool:
+    if inv.get("a") not in matched_keys or inv.get("b") not in matched_keys:
+        return False
+    by_key = {v: k for k, v in matched.items()}
+    a_id, b_id = by_key.get(inv["a"]), by_key.get(inv["b"])
+    for entry in confirmed:
+        if a_id in entry["cycle"] and b_id in entry["cycle"]:
+            return True
+    return False
+
+
+def install_from_env(env: Optional[Dict[str, str]] = None) -> bool:
+    """Install when ``REPRO_LOCKSMITH`` is set (pytest wiring helper)."""
+    env = dict(os.environ) if env is None else env
+    if env.get("REPRO_LOCKSMITH", "").strip() not in ("", "0", "false"):
+        install()
+        return True
+    return False

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 export for lint and xlint reports.
+
+One exporter serves both engines — a :class:`~repro.analysis.engine.
+LintReport` looks the same whether its findings came from single-file
+rules or the whole-program pass. The output is the minimal conforming
+subset that code-scanning UIs ingest: tool driver with rule metadata,
+one ``result`` per finding with a physical location. Baselined findings
+are exported with ``"baselineState": "unchanged"`` so upload targets
+can distinguish accepted debt from new findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+from .engine import Finding, LintReport
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _result(finding: Finding, baseline_state: Optional[str]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if baseline_state is not None:
+        entry["baselineState"] = baseline_state
+    return entry
+
+
+def to_sarif(
+    report: LintReport,
+    tool_name: str = "repro-lint",
+    rule_descriptions: Optional[Mapping[str, str]] = None,
+    include_baselined: bool = True,
+) -> Dict[str, Any]:
+    """Convert a lint report to a SARIF 2.1.0 log dict."""
+    rule_descriptions = dict(rule_descriptions or {})
+    seen_rules = sorted(
+        {f.rule for f in report.findings}
+        | {f.rule for f in (report.baselined if include_baselined else [])}
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": rule_descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in seen_rules
+    ]
+    results = [_result(f, "new") for f in report.findings]
+    if include_baselined:
+        results += [_result(f, "unchanged") for f in report.baselined]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Union[str, Path],
+    report: LintReport,
+    tool_name: str = "repro-lint",
+    rule_descriptions: Optional[Mapping[str, str]] = None,
+) -> None:
+    log = to_sarif(report, tool_name=tool_name, rule_descriptions=rule_descriptions)
+    Path(path).write_text(json.dumps(log, indent=2, sort_keys=True), encoding="utf-8")

@@ -113,8 +113,19 @@ def ensure_picklable_spec(spec: "ShardPlanSpec") -> None:
             _check_value(f"{op.operation}.{key}", value)
 
 
+def _is_lock_like(value: Any) -> bool:
+    """Duck-typed lock check: the analysis locksmith replaces
+    ``threading.Lock``/``RLock`` with wrapper classes, so the type tuple
+    above (captured at import) misses monitored locks. Anything exposing
+    both ``acquire`` and ``release`` callables is a synchronization
+    primitive and must not cross the process boundary either way."""
+    return callable(getattr(value, "acquire", None)) and callable(
+        getattr(value, "release", None)
+    )
+
+
 def _check_value(path: str, value: Any) -> None:
-    if isinstance(value, _UNPICKLABLE_TYPES):
+    if isinstance(value, _UNPICKLABLE_TYPES) or _is_lock_like(value):
         raise NonPicklableTaskError(
             f"shard plan param {path} captures {type(value).__name__}; "
             f"task envelopes must carry declarative JSON-able values only"

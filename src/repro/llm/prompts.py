@@ -44,6 +44,29 @@ def render_task_prompt(task: str, sections: Dict[str, str]) -> str:
     return "\n".join(parts)
 
 
+#: Untrusted text that *starts a line* with a marker could close its
+#: own section and open a new one — prompt injection against the
+#: structured format above. :func:`neutralize_markers` defuses exactly
+#: that shape and nothing else.
+_INJECTED_MARKER_RE = re.compile(r"^<<(TASK|SECTION):", re.MULTILINE)
+
+
+def neutralize_markers(text: str) -> str:
+    """Escape line-initial ``<<TASK:``/``<<SECTION:`` markers in
+    untrusted text before it is interpolated into a prompt.
+
+    ``<<SECTION:`` becomes ``<\\<SECTION:`` — no longer a marker (the
+    parsers match ``^<<`` exactly) but still legible to a model. Text
+    without line-initial markers passes through byte-identical, so
+    prompt bytes, token counts, and cache keys are unchanged for every
+    document that is not actively attempting injection. This is the
+    sanitizer the ``prompt-taint`` whole-program lint requires between
+    untrusted text (document bodies, gateway request input) and prompt
+    construction; see docs/ANALYSIS.md.
+    """
+    return _INJECTED_MARKER_RE.sub(r"<\\<\1:", text)
+
+
 def append_section(prefix: str, name: str, body: str) -> str:
     """Append one section to a prompt prefix built by render_task_prompt.
 

@@ -20,7 +20,7 @@ from ..analysis.plancheck import ensure_valid_plan
 from ..indexes.catalog import NamedIndex
 from ..llm.base import LLMClient
 from ..llm.errors import MalformedOutputError
-from ..llm.prompts import PLAN_QUERY
+from ..llm.prompts import PLAN_QUERY, neutralize_markers
 from .operators import OPERATOR_SPECS, LogicalPlan, PlanNode, PlanValidationError
 
 #: One-line operator docs placed in the planner prompt.
@@ -66,6 +66,9 @@ class LunaPlanner:
         secondary: Sequence[NamedIndex] = (),
     ) -> str:
         """Assemble the planner prompt for a question and schema."""
+        # The question is user input: defuse line-initial section markers
+        # before it joins the structured prompt (prompt-taint lint).
+        question = neutralize_markers(question)
         schema_payload = index.schema_for_planner()
         operators = "\n".join(
             f"{name}: {doc}" for name, doc in OPERATOR_DOCS.items()

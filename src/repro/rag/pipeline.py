@@ -18,7 +18,7 @@ from ..docmodel.document import Document
 from ..indexes.catalog import NamedIndex
 from ..llm.client import ReliableLLM
 from ..llm.errors import ContextWindowExceededError
-from ..llm.prompts import ANSWER_QUESTION, split_into_chunks
+from ..llm.prompts import ANSWER_QUESTION, neutralize_markers, split_into_chunks
 from ..llm.tokens import count_tokens
 from ..llm.base import get_model_spec
 from ..observability.metrics import get_registry
@@ -150,6 +150,8 @@ class RagPipeline:
     def _answer(self, question: str, tracer: Optional[Tracer] = None) -> RagAnswer:
         registry = get_registry()
         registry.counter("rag.questions").inc()
+        # User questions are untrusted prompt input (prompt-taint lint).
+        question = neutralize_markers(question)
         if tracer is not None:
             with tracer.span("rag:retrieve", kind="operator", top_k=self.top_k):
                 chunks = self.retrieve(question)
@@ -188,7 +190,8 @@ class RagPipeline:
         spent = 0
         truncated = False
         for chunk in chunks:
-            text = chunk.text or chunk.text_representation()
+            # Chunk bodies are document text: sanitize before packing.
+            text = neutralize_markers(chunk.text or chunk.text_representation())
             cost = count_tokens(text) + 2
             if spent + cost > budget:
                 truncated = True

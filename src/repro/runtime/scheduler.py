@@ -429,7 +429,7 @@ class RequestScheduler:
         if isinstance(resolved, Future):
             exc = resolved.exception()
             # Callers only pass resolved futures (exception() returned).
-            result = exc if exc is not None else resolved.result()  # repro: lint-ignore[timeout-not-propagated]
+            result = exc if exc is not None else resolved.result()  # repro: lint-ignore[timeout-not-propagated,event-loop-blocker]
         else:
             result = resolved
         if batch_span_id is not None:

@@ -33,6 +33,7 @@ from ..llm.prompts import (
     PromptTemplate,
     SUMMARIZE_DOCUMENT,
     append_section,
+    neutralize_markers,
     render_task_prompt,
 )
 from ..runtime import Priority
@@ -90,7 +91,11 @@ def prompt_prefix_cache_info() -> Dict[str, int]:
 
 
 def _document_text(document: Document, num_elements: Optional[int]) -> str:
-    return document.text_representation(max_elements=num_elements)
+    # Document bodies are untrusted: a line-initial <<SECTION:...>> in
+    # the text could inject its own prompt section (prompt-taint lint).
+    return neutralize_markers(
+        document.text_representation(max_elements=num_elements)
+    )
 
 
 def _template_prefix(template: PromptTemplate, **static: str) -> str:
@@ -456,5 +461,7 @@ def summarize_collection(
 def _fill_placeholders(template: str, properties: Dict[str, Any]) -> str:
     result = template
     for key, value in properties.items():
-        result = result.replace("{" + key + "}", str(value))
+        # Property values were extracted from untrusted document text by
+        # an LLM — sanitize them like the text they came from.
+        result = result.replace("{" + key + "}", neutralize_markers(str(value)))
     return result

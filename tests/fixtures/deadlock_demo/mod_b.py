@@ -1,0 +1,23 @@
+"""Other half of the two-module deadlock fixture (see mod_a.py)."""
+
+import threading
+
+from mod_a import AccountA
+
+
+class AccountB:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.balance = 0
+
+    def reverse(self, a: AccountA, amount: int) -> None:
+        # B -> A: the opposite nesting order of AccountA.transfer.
+        with self._lock:
+            self.balance -= amount
+            a.debit(amount)
+
+
+def credit(b: "AccountB", amount: int) -> None:
+    # Called from AccountA.transfer with A's lock held: A -> B.
+    with b._lock:
+        b.balance += amount

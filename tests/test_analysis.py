@@ -1048,3 +1048,169 @@ class TestLeakcheck:
         finally:
             stop.set()
             thread.join()
+
+
+# ----------------------------------------------------------------------
+# Baseline v2, SARIF, and suppression edge cases
+# ----------------------------------------------------------------------
+
+from repro.analysis import Baseline, BaselineEntry, Finding, to_sarif
+
+
+def _finding(path="src/repro/mod.py", rule="swallowed-future",
+             message="future from pool.submit(...) is discarded", line=3):
+    return Finding(rule=rule, path=path, line=line, col=4, message=message)
+
+
+class TestBaselineV2:
+    def test_justification_round_trip(self, tmp_path):
+        f = _finding()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f], justifications={f.identity(): "migration worklist"})
+        loaded = Baseline.load(path)
+        assert loaded.justifications() == {f.identity(): "migration worklist"}
+        entry = loaded.match(f)
+        assert entry is not None and entry.justification == "migration worklist"
+
+    def test_update_preserves_justifications(self, tmp_path):
+        f = _finding()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f], justifications={f.identity(): "keep me"})
+        # Regenerate (as --update-baseline does): carry the old reasons over.
+        old = Baseline.load(path)
+        write_baseline(path, [f], justifications=old.justifications())
+        assert Baseline.load(path).justifications() == {f.identity(): "keep me"}
+
+    def test_entry_survives_file_move(self):
+        baseline = Baseline([BaselineEntry(
+            path="src/old/place.py", rule="swallowed-future",
+            message="future from pool.submit(...) is discarded",
+        )])
+        moved = _finding(path="src/new/home/place.py")
+        assert baseline.match(moved) is not None
+        # ...and a matched entry is not stale.
+        assert baseline.stale_entries({"src/new/home/place.py"}) == []
+
+    def test_stale_restricted_to_checked_paths(self):
+        baseline = Baseline([
+            BaselineEntry(path="a.py", rule="r", message="m"),
+            BaselineEntry(path="b.py", rule="r", message="m"),
+        ])
+        # Only a.py was linted: b.py's entry must not be declared stale.
+        assert baseline.stale_entries({"a.py"}) == ["a.py::r::m"]
+
+    def test_stale_reported_through_lint_paths(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        baseline = Baseline([BaselineEntry(
+            path=str(clean), rule="swallowed-future", message="gone",
+        )])
+        report = lint_paths([clean], rules=["swallowed-future"], baseline=baseline)
+        assert report.ok
+        assert report.stale == [f"{clean}::swallowed-future::gone"]
+
+    def test_from_identities(self):
+        baseline = Baseline.from_identities({"p.py::r::message :: with colons"})
+        assert baseline.entries[0].path == "p.py"
+        assert baseline.entries[0].message == "message :: with colons"
+
+
+class TestSarifExport:
+    def test_sarif_shape_and_baseline_state(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(pool, other):\n"
+            "    pool.submit(work)\n"
+            "    other.submit(work)\n",
+            encoding="utf-8",
+        )
+        fresh = lint_paths([bad], rules=["swallowed-future"])
+        baseline = Baseline.from_identities({fresh.findings[0].identity()})
+        report = lint_paths([bad], rules=["swallowed-future"], baseline=baseline)
+        assert len(report.findings) == 1 and len(report.baselined) == 1
+
+        doc = to_sarif(report, tool_name="repro-lint",
+                       rule_descriptions={"swallowed-future": "dropped future"})
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "swallowed-future" in rule_ids
+        states = sorted(r["baselineState"] for r in run["results"])
+        assert states == ["new", "unchanged"]
+        loc = run["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"]["startLine"] in (2, 3)
+
+    def test_sarif_can_exclude_baselined(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(pool):\n    pool.submit(work)\n", encoding="utf-8")
+        fresh = lint_paths([bad], rules=["swallowed-future"])
+        baseline = Baseline.from_identities({f.identity() for f in fresh.findings})
+        report = lint_paths([bad], rules=["swallowed-future"], baseline=baseline)
+        doc = to_sarif(report, include_baselined=False)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestSuppressionEdgeCases:
+    def test_multiline_statement_suppressed_on_first_line(self):
+        # The finding anchors to the statement's first line, so the tag
+        # there (or the line above) silences it even though the call
+        # spans several lines.
+        assert not hits(
+            """
+            def f(pool):
+                pool.submit(  # repro: lint-ignore[swallowed-future]
+                    work,
+                    arg,
+                )
+            """,
+            "swallowed-future",
+        )
+
+    def test_tag_on_last_line_of_multiline_call_does_not_suppress(self):
+        assert len(hits(
+            """
+            def f(pool):
+                pool.submit(
+                    work,
+                )  # repro: lint-ignore[swallowed-future]
+            """,
+            "swallowed-future",
+        )) == 1
+
+    def test_suppression_inside_decorated_function(self):
+        # Decorators shift the def downward; the finding still anchors
+        # to the offending statement, so line-above suppression works
+        # unchanged inside a decorated function.
+        assert not hits(
+            """
+            @retry(3)
+            @traced
+            def f(pool):
+                # repro: lint-ignore[swallowed-future]
+                pool.submit(work)
+            """,
+            "swallowed-future",
+        )
+
+    def test_decorator_line_tag_does_not_leak_onto_body(self):
+        # A tag on the decorator line must not silence findings in the
+        # function body below it.
+        assert len(hits(
+            """
+            @retry(3)  # repro: lint-ignore[swallowed-future]
+            def f(pool):
+                pool.submit(work)
+            """,
+            "swallowed-future",
+        )) == 1
+
+    def test_suppression_with_spaces_in_rule_list(self):
+        assert not hits(
+            """
+            def f(pool):
+                pool.submit(work)  # repro: lint-ignore[ swallowed-future , naive-wall-clock ]
+            """,
+            "swallowed-future",
+        )

@@ -1,0 +1,176 @@
+"""Runtime lock-order sanitizer (``repro.analysis.locksmith``) tests."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis import locksmith
+from repro.cluster.envelope import NonPicklableTaskError, _check_value
+
+
+@pytest.fixture()
+def monitor():
+    """Install the sanitizer for one test (tolerates a session-wide
+    install from REPRO_LOCKSMITH/--locksmith)."""
+    already = locksmith.installed()
+    if not already:
+        locksmith.install()
+    before = len(locksmith.inversions())
+    yield before
+    if not already:
+        locksmith.uninstall()
+
+
+class TestMonitoredLocks:
+    def test_install_is_idempotent_and_reversible(self):
+        already = locksmith.installed()
+        locksmith.install()
+        locksmith.install()
+        assert locksmith.installed()
+        assert threading.Lock is not None
+        lock = threading.Lock()
+        with lock:
+            pass
+        if not already:
+            locksmith.uninstall()
+            assert not locksmith.installed()
+
+    def test_consistent_order_records_edges_but_no_inversion(self, monitor):
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert locksmith.inversions()[monitor:] == []
+
+    @pytest.mark.locksmith_intentional
+    def test_reversed_order_is_an_observed_inversion(self, monitor):
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        new = locksmith.inversions()[monitor:]
+        assert len(new) == 1
+        inversion = new[0]
+        assert inversion.stack and inversion.reverse_stack
+        assert inversion.chain[0] == inversion.b
+        assert inversion.chain[-1] == inversion.a
+        rendered = inversion.render()
+        assert "forward acquisition" in rendered
+        assert "prior reverse acquisition" in rendered
+
+    def test_rlock_reentrancy_records_single_acquisition(self, monitor):
+        r = threading.RLock()
+        other = threading.Lock()
+        with r:
+            with r:  # reentrant: no self-edge, no double record
+                with other:
+                    pass
+        assert locksmith.inversions()[monitor:] == []
+        # Only one edge r -> other despite the nested re-acquire.
+        edges = [
+            (a, b)
+            for (a, b) in locksmith.edges()
+            if "test_locksmith" in a and "test_locksmith" in b
+        ]
+        assert len(set(edges)) == len(edges)
+
+    def test_sites_attribute_to_user_code(self, monitor):
+        lock = threading.Lock()
+        with lock:
+            pass
+        report = locksmith.report()
+        user_sites = [k for k in report["sites"] if "test_locksmith.py" in k]
+        assert user_sites, report["sites"]
+
+    def test_condition_and_queue_work_under_monitoring(self, monitor):
+        cond = threading.Condition()
+        hits = []
+
+        def waiter():
+            with cond:
+                while not hits:
+                    cond.wait(timeout=1)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        with cond:
+            hits.append(1)
+            cond.notify_all()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+
+        import queue
+
+        q = queue.Queue()
+        q.put("x")
+        assert q.get(timeout=1) == "x"
+
+    def test_rlock_recursion_count_protocol(self, monitor):
+        r = threading.RLock()
+        assert r._recursion_count() == 0
+        with r:
+            with r:
+                assert r._recursion_count() == 2
+            assert r._recursion_count() == 1
+        assert r._recursion_count() == 0
+
+
+class TestReporting:
+    @pytest.mark.locksmith_intentional
+    def test_report_round_trips_through_json(self, monitor, tmp_path):
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        path = tmp_path / "locksmith.json"
+        locksmith.write_report(str(path))
+        loaded = locksmith.load_report(str(path))
+        assert loaded["installed"] is True
+        assert loaded["sites"]
+        assert loaded["edges"]
+        assert any(
+            "test_locksmith" in inv["a"] for inv in loaded["inversions"]
+        )
+        # Valid JSON all the way down (CI uploads this as an artifact).
+        json.dumps(loaded)
+
+    def test_report_when_not_installed(self):
+        if locksmith.installed():
+            pytest.skip("session-wide locksmith active")
+        report = locksmith.report()
+        assert report == {
+            "installed": False,
+            "sites": {},
+            "edges": [],
+            "inversions": [],
+        }
+
+
+class TestEnvelopeHardening:
+    def test_monitored_lock_rejected_by_envelope_check(self, monitor):
+        lock = threading.Lock()
+        with pytest.raises(NonPicklableTaskError):
+            _check_value("op.param", lock)
+
+    def test_monitored_lock_rejected_inside_containers(self, monitor):
+        lock = threading.RLock()
+        with pytest.raises(NonPicklableTaskError):
+            _check_value("op.param", {"inner": [lock]})
+
+    def test_plain_values_still_pass(self):
+        _check_value("op.param", {"a": [1, "two", 3.0, None, True]})
